@@ -1,0 +1,125 @@
+//! A Memcached-like in-memory KV server (Figures 4–5).
+//!
+//! All data lives in kernel memory: under transparent persistence, every
+//! SET's page writes pay COW faults after each checkpoint's system
+//! shadow, and responses are withheld by external synchrony — the two
+//! effects the Memcached figures measure.
+
+use crate::Arena;
+use aurora_posix::{KError, Kernel, Pid};
+use std::collections::HashMap;
+
+/// Aggregate per-operation CPU cost of the 12-thread server (parse +
+/// hash + LRU), calibrated so the uncheckpointed server peaks near the
+/// paper's ~1M ops/s.
+pub const SERVICE_NS: u64 = 950;
+
+/// Size of the metadata region (hash buckets + LRU nodes), pages.
+/// Every operation — GETs included, via the LRU bump — writes a node
+/// somewhere in this region, which is what makes transparent
+/// checkpointing expensive: after each system shadow those scattered
+/// pages refault and copy.
+pub const META_PAGES: u64 = 4096;
+
+/// The server.
+pub struct Memcached {
+    /// Server process.
+    pub pid: Pid,
+    arena: Arena,
+    /// Hash-bucket + LRU metadata region.
+    meta_addr: u64,
+    index: HashMap<Vec<u8>, (u64, u32)>,
+    /// Operations served.
+    pub ops: u64,
+    /// Arena wraps (evict-everything events).
+    pub wraps: u64,
+}
+
+fn key_hash(key: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+impl Memcached {
+    /// Launches the server with an `arena_pages`-page value arena and
+    /// `threads` worker threads.
+    pub fn launch(k: &mut Kernel, arena_pages: u64, threads: u32) -> Result<Self, KError> {
+        let pid = k.spawn("memcached");
+        for _ in 1..threads {
+            k.add_thread(pid)?;
+        }
+        let arena = Arena::map(k, pid, arena_pages)?;
+        let meta_addr = k.mmap_anon(pid, META_PAGES, aurora_vm::Prot::RW)?;
+        Ok(Self { pid, arena, meta_addr, index: HashMap::new(), ops: 0, wraps: 0 })
+    }
+
+    /// The LRU/hash metadata update every command performs.
+    fn touch_meta(&mut self, k: &mut Kernel, key: &[u8]) -> Result<(), KError> {
+        let slot = key_hash(key) % (META_PAGES * 4096 / 64);
+        let addr = self.meta_addr + slot * 64;
+        k.mem_write(self.pid, addr, &slot.to_le_bytes())
+    }
+
+    /// SET: store a value.
+    pub fn set(&mut self, k: &mut Kernel, key: &[u8], value: &[u8]) -> Result<(), KError> {
+        k.charge.raw(SERVICE_NS);
+        self.touch_meta(k, key)?;
+        let (addr, wrapped) = self.arena.append(k, value)?;
+        if wrapped {
+            // The bump wrap invalidates everything older (slab reuse).
+            self.index.clear();
+            self.wraps += 1;
+        }
+        self.index.insert(key.to_vec(), (addr, value.len() as u32));
+        self.ops += 1;
+        Ok(())
+    }
+
+    /// GET: fetch a value.
+    pub fn get(&mut self, k: &mut Kernel, key: &[u8]) -> Result<Option<Vec<u8>>, KError> {
+        k.charge.raw(SERVICE_NS);
+        self.touch_meta(k, key)?;
+        self.ops += 1;
+        match self.index.get(key) {
+            Some(&(addr, len)) => Ok(Some(self.arena.read(k, addr, len as usize)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Number of live keys.
+    pub fn keys(&self) -> usize {
+        self.index.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut k = Kernel::boot();
+        let mut mc = Memcached::launch(&mut k, 1024, 12).unwrap();
+        mc.set(&mut k, b"user:1", b"alice").unwrap();
+        mc.set(&mut k, b"user:2", b"bob").unwrap();
+        assert_eq!(mc.get(&mut k, b"user:1").unwrap().unwrap(), b"alice");
+        assert_eq!(mc.get(&mut k, b"user:2").unwrap().unwrap(), b"bob");
+        assert_eq!(mc.get(&mut k, b"user:3").unwrap(), None);
+        assert_eq!(mc.ops, 5);
+    }
+
+    #[test]
+    fn sets_dirty_pages() {
+        let mut k = Kernel::boot();
+        let mut mc = Memcached::launch(&mut k, 1024, 12).unwrap();
+        let frames_before = k.vm.resident_frames();
+        for i in 0..100u32 {
+            mc.set(&mut k, format!("k{i}").as_bytes(), &vec![1u8; 500]).unwrap();
+        }
+        assert!(k.vm.resident_frames() > frames_before, "values land in kernel memory");
+    }
+}

@@ -1,0 +1,175 @@
+//! Criterion micro-benchmarks: real wall-clock cost of the hot paths of
+//! this implementation (as opposed to the virtual-clock experiment
+//! harnesses in `src/bin/`). These guard against regressions in the code
+//! itself: the checkpoint serializers, the codec, the fault path, the
+//! collapse operation, and store commits.
+
+use aurora_core::world::World;
+use aurora_core::{AuroraApi, SlsOptions};
+use aurora_sim::{Decoder, Encoder};
+use aurora_vm::{CollapseMode, Prot, Vm, PAGE_SIZE};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_codec(c: &mut Criterion) {
+    c.bench_function("codec/encode_1k_record", |b| {
+        let payload = vec![0xABu8; 1024];
+        b.iter(|| {
+            let mut e = Encoder::with_capacity(1100);
+            e.record(0x10, 1, |e| {
+                e.u64(42);
+                e.bytes(&payload);
+            });
+            black_box(e.finish_vec())
+        })
+    });
+    c.bench_function("codec/decode_1k_record", |b| {
+        let mut e = Encoder::new();
+        e.record(0x10, 1, |enc| {
+            enc.u64(42);
+            enc.bytes(&vec![0xABu8; 1024]);
+        });
+        let bytes = e.finish_vec();
+        b.iter(|| {
+            let mut d = Decoder::new(&bytes);
+            let (_v, mut body) = d.record(0x10, 1).unwrap();
+            black_box((body.u64().unwrap(), body.bytes().unwrap().len()))
+        })
+    });
+}
+
+fn bench_vm(c: &mut Criterion) {
+    c.bench_function("vm/write_fault_cow_break", |b| {
+        b.iter_batched(
+            || {
+                let mut vm = Vm::new();
+                let s = vm.create_space();
+                let a = vm.mmap_anon(s, 64, Prot::RW).unwrap();
+                vm.touch(s, a, 64 * PAGE_SIZE as u64).unwrap();
+                vm.system_shadow(&[s]).unwrap();
+                (vm, s, a)
+            },
+            |(mut vm, s, a)| {
+                for i in 0..64u64 {
+                    vm.write(s, a + i * PAGE_SIZE as u64, &[1]).unwrap();
+                }
+                black_box(vm.stats.cow_breaks)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    for (name, mode) in
+        [("vm/collapse_reversed", CollapseMode::Reversed), ("vm/collapse_forward", CollapseMode::Forward)]
+    {
+        c.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    // Base with 512 pages, shadow with 16 dirty pages.
+                    let mut vm = Vm::new();
+                    let s = vm.create_space();
+                    let a = vm.mmap_anon(s, 512, Prot::RW).unwrap();
+                    vm.touch(s, a, 512 * PAGE_SIZE as u64).unwrap();
+                    vm.system_shadow(&[s]).unwrap();
+                    for i in 0..16u64 {
+                        vm.write(s, a + i * PAGE_SIZE as u64, &[2]).unwrap();
+                    }
+                    vm.system_shadow(&[s]).unwrap();
+                    let top = vm.space(s).unwrap().entry_at(a).unwrap().object;
+                    (vm, top)
+                },
+                |(mut vm, top)| black_box(vm.collapse_under(top, mode).unwrap()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    c.bench_function("sls/incremental_checkpoint_64p", |b| {
+        b.iter_batched(
+            || {
+                let mut w = World::quickstart();
+                let pid = w.sls.kernel.spawn("bench");
+                let addr = w.dirty_region(pid, 64).unwrap();
+                let gid = w.sls.attach(pid, SlsOptions::default()).unwrap();
+                w.sls.sls_checkpoint(gid).unwrap();
+                w.sls.sls_barrier(gid).unwrap();
+                w.sls.kernel.mem_touch(pid, addr, 64 * PAGE_SIZE as u64).unwrap();
+                (w, gid)
+            },
+            |(mut w, gid)| black_box(w.sls.sls_checkpoint(gid).unwrap().pages_flushed),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_store(c: &mut Criterion) {
+    use aurora_objstore::{ObjectKind, ObjectStore};
+    use aurora_sim::cost::Charge;
+    use aurora_sim::{Clock, CostModel};
+    use aurora_storage::testbed_array;
+
+    c.bench_function("store/write_page_commit_16p", |b| {
+        b.iter_batched(
+            || {
+                let clock = Clock::new();
+                let dev = testbed_array(&clock, 1 << 26);
+                let mut s =
+                    ObjectStore::format(dev, Charge::new(clock, CostModel::default()), 1024)
+                        .unwrap();
+                let oid = s.alloc_oid();
+                s.create_object(oid, ObjectKind::Memory).unwrap();
+                (s, oid)
+            },
+            |(mut s, oid)| {
+                let page = [7u8; 4096];
+                for pi in 0..16 {
+                    s.write_page(oid, pi, &page).unwrap();
+                }
+                black_box(s.commit().unwrap().epoch)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("store/journal_append_4k", |b| {
+        let clock = Clock::new();
+        let dev = testbed_array(&clock, 1 << 26);
+        let mut s =
+            ObjectStore::format(dev, Charge::new(clock, CostModel::default()), 1024).unwrap();
+        let j = s.alloc_oid();
+        s.create_journal(j, 16 * 1024).unwrap();
+        let data = vec![3u8; 4000];
+        b.iter(|| {
+            if s.journal_stats(j).unwrap().used + 4100 > s.journal_stats(j).unwrap().capacity {
+                s.journal_truncate(j).unwrap();
+            }
+            black_box(s.journal_append(j, &data).unwrap())
+        })
+    });
+}
+
+fn bench_restore(c: &mut Criterion) {
+    use aurora_core::RestoreMode;
+    c.bench_function("sls/lazy_restore", |b| {
+        b.iter_batched(
+            || {
+                let mut w = World::quickstart();
+                let pid = w.sls.kernel.spawn("bench");
+                w.dirty_region(pid, 256).unwrap();
+                let gid = w.sls.attach(pid, SlsOptions::default()).unwrap();
+                w.sls.sls_checkpoint(gid).unwrap();
+                w.sls.sls_barrier(gid).unwrap();
+                (w, gid)
+            },
+            |(mut w, gid)| {
+                black_box(w.sls.sls_restore(gid, None, RestoreMode::Lazy).unwrap().pids.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_codec, bench_vm, bench_checkpoint, bench_store, bench_restore);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Shared helpers for the experiment harnesses.
+//!
+//! Every table and figure of the paper has one binary under `src/bin/`;
+//! run them with `cargo run -p aurora-bench --bin <name>` (release mode
+//! recommended). Each prints the paper's reference numbers next to the
+//! reproduction's, so the *shape* comparison is immediate.
+
+pub mod memcached_sim;
+
+use aurora_sim::stats::summarize_runs;
+
+/// Prints a table header.
+pub fn header(title: &str, columns: &[&str]) {
+    println!("\n=== {title} ===");
+    let row = columns.iter().map(|c| format!("{c:>16}")).collect::<Vec<_>>().join(" ");
+    println!("{row}");
+    println!("{}", "-".repeat(row.len()));
+}
+
+/// Prints one row of right-aligned cells.
+pub fn row(cells: &[String]) {
+    println!("{}", cells.iter().map(|c| format!("{c:>16}")).collect::<Vec<_>>().join(" "));
+}
+
+/// Formats mean±std over runs using a unit formatter.
+pub fn mean_pm(runs: &[f64], fmt: impl Fn(f64) -> String) -> String {
+    let s = summarize_runs(runs);
+    if runs.len() > 1 && s.stddev > 0.0 {
+        format!("{}±{}", fmt(s.mean), fmt(s.stddev))
+    } else {
+        fmt(s.mean)
+    }
+}
+
+/// Ratio string (`2.1×`).
+pub fn ratio(a: f64, b: f64) -> String {
+    if b == 0.0 {
+        "∞".to_string()
+    } else {
+        format!("{:.1}×", a / b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_pm_formats() {
+        let s = mean_pm(&[1.0, 3.0], |v| format!("{v:.1}"));
+        assert!(s.contains('±'), "{s}");
+        assert_eq!(mean_pm(&[2.0], |v| format!("{v:.0}")), "2");
+    }
+
+    #[test]
+    fn ratio_formats() {
+        assert_eq!(ratio(4.0, 2.0), "2.0×");
+        assert_eq!(ratio(1.0, 0.0), "∞");
+    }
+}

@@ -1,0 +1,159 @@
+//! `sls` — the Aurora command line (Table 2 of the paper), driving a
+//! demonstration machine end to end:
+//!
+//! ```text
+//! sls demo                 run the full attach/checkpoint/crash/restore tour
+//! ```
+//!
+//! The simulated machine lives for one invocation (the kernel is a
+//! user-space simulation); `demo` chains the Table 2 workflow so every
+//! command's effect is visible: attach → periodic checkpoints → named
+//! checkpoint → ps → crash → restore → time travel → suspend/resume →
+//! dump → send/recv migration.
+
+use aurora_core::world::World;
+use aurora_core::{AuroraApi, RestoreMode, SlsOptions};
+use aurora_sim::units::{fmt_bytes, fmt_ns};
+use std::env;
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("demo");
+    match cmd {
+        "demo" => demo(),
+        "help" | "--help" | "-h" => usage(),
+        other => {
+            eprintln!("unknown or non-interactive command: {other}");
+            eprintln!("(the simulated machine lives for one invocation; run `sls demo`)");
+            usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn usage() {
+    println!(
+        "sls — the Aurora single level store CLI (reproduction)\n\n\
+         USAGE: sls demo\n\n\
+         The demo walks the paper's Table 2 workflow on a simulated\n\
+         machine: attach → periodic checkpoints → named checkpoint →\n\
+         ps → crash → restore → time travel → suspend/resume →\n\
+         dump → send/recv migration."
+    );
+}
+
+fn demo() {
+    println!("Booting a simulated machine (4× Optane-like devices, 64 KiB stripe)…");
+    let mut w = World::quickstart();
+    let pid = w.spawn_counter_app();
+    println!("Spawned demo app as pid {}", pid.0);
+
+    // sls attach
+    let gid = w.sls.attach(pid, SlsOptions::default()).unwrap();
+    println!("\n$ sls attach {}", pid.0);
+    let cp = w.sls.sls_checkpoint(gid).unwrap();
+    println!(
+        "  attached as group {}; full checkpoint: epoch {}, stop {}, {} flushed",
+        gid.0,
+        cp.epoch,
+        fmt_ns(cp.stop_time_ns),
+        fmt_bytes(cp.bytes_flushed)
+    );
+
+    // Work + periodic checkpoints.
+    println!("\n$ (app works; Aurora checkpoints every 10 ms)");
+    for i in 1..=5u64 {
+        w.bump_counter(pid).unwrap();
+        w.clock.advance(10_000_000);
+        let stats = w.sls.tick().unwrap();
+        if let Some(s) = stats.first() {
+            println!(
+                "  t={:>3} ms  counter={}  epoch {} (stop {})",
+                (i * 10),
+                w.read_counter(pid).unwrap(),
+                s.epoch,
+                fmt_ns(s.stop_time_ns)
+            );
+        }
+    }
+
+    // sls checkpoint <name>
+    println!("\n$ sls checkpoint before-crash");
+    let named_epoch = w.sls.name_checkpoint(gid, "before-crash").unwrap();
+    // Wait for durability — a named checkpoint should survive anything.
+    w.sls.sls_barrier(gid).unwrap();
+    println!("  named epoch {named_epoch} \"before-crash\" (durable)");
+
+    // sls ps
+    println!("\n$ sls ps");
+    for g in w.sls.groups() {
+        let history = w.sls.history(g).unwrap().to_vec();
+        println!(
+            "  group {}: {} member(s), {} checkpoints (epochs {:?}…)",
+            g.0,
+            w.sls.group_pids(g).unwrap().len(),
+            history.len(),
+            &history[..history.len().min(4)]
+        );
+    }
+
+    // Crash.
+    println!("\n$ (machine crashes: power loss)");
+    w.bump_counter(pid).unwrap(); // lost work
+    w.sls.crash_and_reboot().unwrap();
+    println!("  kernel rebooted; all processes died; store recovered");
+
+    // sls restore
+    println!("\n$ sls restore");
+    let epoch = w.sls.store().lock().last_epoch().unwrap();
+    let manifest = w.sls.manifests_at(epoch).unwrap()[0];
+    let r = w.sls.restore_image(manifest, epoch, RestoreMode::Full).unwrap();
+    let new_pid = r.pids[0];
+    let local = w.sls.kernel.proc(new_pid).unwrap().local_pid.0;
+    let counter = w.read_counter(new_pid).unwrap();
+    println!(
+        "  restored epoch {epoch}: pid {} (local pid preserved: {local}), counter={counter}",
+        new_pid.0,
+    );
+
+    // Time travel to the named checkpoint.
+    println!("\n$ sls restore --name before-crash   (time travel)");
+    let r2 = w.sls.restore_image(manifest, named_epoch, RestoreMode::Lazy).unwrap();
+    println!(
+        "  lazily restored epoch {named_epoch}: counter={} ({} pages read eagerly)",
+        w.read_counter(r2.pids[0]).unwrap(),
+        r2.pages_read
+    );
+
+    // suspend/resume: evict everything, then fault back.
+    println!("\n$ sls suspend {} && sls resume", new_pid.0);
+    let g2 = r.group;
+    w.sls.sls_checkpoint(g2).unwrap();
+    w.sls.sls_barrier(g2).unwrap();
+    let evicted = w.sls.evict_clean_pages(g2, u64::MAX).unwrap();
+    println!("  suspended: {evicted} pages evicted to the store (no IO — already clean)");
+    let v = w.read_counter(new_pid).unwrap();
+    println!("  resumed: first touch faulted the state back; counter={v}");
+
+    // sls dump
+    println!("\n$ sls dump core.{}", new_pid.0);
+    let core = w.sls.coredump(new_pid).unwrap();
+    let path = std::env::temp_dir().join(format!("aurora-core.{}", new_pid.0));
+    std::fs::File::create(&path).and_then(|mut f| f.write_all(&core)).unwrap();
+    println!("  wrote {} ({} bytes, ELF64 ET_CORE)", path.display(), core.len());
+
+    // sls send / recv
+    println!("\n$ sls send | ssh other-machine sls recv");
+    let mut other = World::quickstart();
+    let cp = w.sls.sls_checkpoint(g2).unwrap();
+    w.sls.sls_barrier(g2).unwrap();
+    let moved = w.sls.migrate_to(&mut other.sls, cp.epoch, RestoreMode::Full).unwrap();
+    println!(
+        "  migrated: remote pid {}, counter={} — execution state crossed machines",
+        moved.pids[0].0,
+        other.read_counter(moved.pids[0]).unwrap()
+    );
+
+    println!("\nDemo complete.");
+}

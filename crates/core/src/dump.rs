@@ -1,0 +1,156 @@
+//! ELF coredump export (`sls dump`, Table 2): any checkpoint or running
+//! state can be extracted as an ELF64 core file for debugging.
+
+use crate::{Sls, SlsError};
+use aurora_objstore::Oid;
+use aurora_posix::Pid;
+use aurora_sim::codec::Encoder;
+use aurora_vm::{ObjId, PageSlot, PAGE_SIZE};
+
+const EHDR_SIZE: usize = 64;
+const PHDR_SIZE: usize = 56;
+const PT_LOAD: u32 = 1;
+const PT_NOTE: u32 = 4;
+const NT_PRSTATUS: u32 = 1;
+
+/// Reads `[addr, addr+len)` of a space without faulting: missing or
+/// swapped pages read as zeros (they are holes in the dump).
+fn read_region_nofault(
+    sls: &Sls,
+    space: aurora_vm::SpaceId,
+    top: ObjId,
+    offset_pages: u64,
+    start: u64,
+    len: u64,
+) -> Result<Vec<u8>, SlsError> {
+    let _ = space;
+    let mut out = vec![0u8; len as usize];
+    let pages = len / PAGE_SIZE as u64;
+    let chain = sls.kernel.vm.chain_of(top)?;
+    for i in 0..pages {
+        let pindex = offset_pages + i;
+        for &obj in &chain {
+            let o = sls.kernel.vm.object(obj)?;
+            match o.pages.get(&pindex) {
+                Some(PageSlot::Resident { .. }) => {
+                    let data = sls.kernel.vm.page_bytes(obj, pindex)?;
+                    let off = (i as usize) * PAGE_SIZE;
+                    out[off..off + PAGE_SIZE].copy_from_slice(data);
+                    break;
+                }
+                Some(PageSlot::Swapped) => break, // hole in the dump
+                None => continue,
+            }
+        }
+    }
+    let _ = start;
+    Ok(out)
+}
+
+impl Sls {
+    /// Produces an ELF64 core image of a running process: one PT_NOTE
+    /// with an NT_PRSTATUS per thread, one PT_LOAD per map entry.
+    pub fn coredump(&self, pid: Pid) -> Result<Vec<u8>, SlsError> {
+        let p = self.kernel.proc(pid)?;
+        let entries: Vec<_> = self.kernel.vm.entries(p.space)?.to_vec();
+
+        // NT_PRSTATUS notes.
+        let mut notes = Encoder::new();
+        for tid in &p.threads {
+            let t = self.kernel.threads.get(tid).ok_or(SlsError::BadImage("thread"))?;
+            let name = b"CORE";
+            let mut desc = Encoder::new();
+            desc.u32(t.local_tid.0);
+            desc.u64(t.regs.pc);
+            desc.u64(t.regs.sp);
+            for r in t.regs.gp {
+                desc.u64(r);
+            }
+            let desc = desc.finish_vec();
+            notes.u32(name.len() as u32 + 1);
+            notes.u32(desc.len() as u32);
+            notes.u32(NT_PRSTATUS);
+            notes.raw(name);
+            notes.raw(&[0, 0, 0, 0][..(4 - name.len() % 4) % 4 + 1]); // NUL + pad
+            notes.raw(&desc);
+            let pad = (4 - desc.len() % 4) % 4;
+            notes.raw(&vec![0u8; pad]);
+        }
+        let notes = notes.finish_vec();
+
+        let phnum = 1 + entries.len();
+        let headers_len = EHDR_SIZE + phnum * PHDR_SIZE;
+        let mut segments: Vec<(u64, Vec<u8>)> = Vec::with_capacity(entries.len());
+        for e in &entries {
+            let data = read_region_nofault(
+                self,
+                p.space,
+                e.object,
+                e.offset_pages,
+                e.start,
+                e.end - e.start,
+            )?;
+            segments.push((e.start, data));
+        }
+
+        let mut out = Vec::new();
+        // ELF header.
+        out.extend_from_slice(&[0x7f, b'E', b'L', b'F', 2, 1, 1, 0]); // ident
+        out.extend_from_slice(&[0; 8]);
+        out.extend_from_slice(&4u16.to_le_bytes()); // ET_CORE
+        out.extend_from_slice(&62u16.to_le_bytes()); // EM_X86_64
+        out.extend_from_slice(&1u32.to_le_bytes()); // version
+        out.extend_from_slice(&0u64.to_le_bytes()); // entry
+        out.extend_from_slice(&(EHDR_SIZE as u64).to_le_bytes()); // phoff
+        out.extend_from_slice(&0u64.to_le_bytes()); // shoff
+        out.extend_from_slice(&0u32.to_le_bytes()); // flags
+        out.extend_from_slice(&(EHDR_SIZE as u16).to_le_bytes());
+        out.extend_from_slice(&(PHDR_SIZE as u16).to_le_bytes());
+        out.extend_from_slice(&(phnum as u16).to_le_bytes());
+        out.extend_from_slice(&[0u8; 6]); // shentsize, shnum, shstrndx
+        debug_assert_eq!(out.len(), EHDR_SIZE);
+
+        // Program headers. Note first, then loads.
+        let mut file_off = headers_len as u64;
+        let phdr = |ptype: u32, flags: u32, off: u64, vaddr: u64, fsz: u64, msz: u64| {
+            let mut h = Vec::with_capacity(PHDR_SIZE);
+            h.extend_from_slice(&ptype.to_le_bytes());
+            h.extend_from_slice(&flags.to_le_bytes());
+            h.extend_from_slice(&off.to_le_bytes());
+            h.extend_from_slice(&vaddr.to_le_bytes());
+            h.extend_from_slice(&vaddr.to_le_bytes()); // paddr
+            h.extend_from_slice(&fsz.to_le_bytes());
+            h.extend_from_slice(&msz.to_le_bytes());
+            h.extend_from_slice(&PAGE_SIZE.to_le_bytes());
+            h
+        };
+        let mut phdrs = Vec::new();
+        phdrs.extend(phdr(PT_NOTE, 4, file_off, 0, notes.len() as u64, 0));
+        file_off += notes.len() as u64;
+        for (vaddr, data) in &segments {
+            phdrs.extend(phdr(PT_LOAD, 6, file_off, *vaddr, data.len() as u64, data.len() as u64));
+            file_off += data.len() as u64;
+        }
+        out.extend_from_slice(&phdrs);
+        out.extend_from_slice(&notes);
+        for (_, data) in segments {
+            out.extend_from_slice(&data);
+        }
+        Ok(out)
+    }
+
+    /// Dumps a *checkpointed* memory object's pages from the store (for
+    /// `sls dump --epoch`): returns (pindex, page) pairs.
+    pub fn dump_object_pages(
+        &self,
+        oid: Oid,
+        epoch: u64,
+    ) -> Result<Vec<(u64, [u8; PAGE_SIZE])>, SlsError> {
+        let mut store = self.store.lock();
+        let mut out = Vec::new();
+        for pi in store.pages_at(oid, epoch)? {
+            out.push((pi, store.read_page(oid, pi, epoch)?));
+        }
+        Ok(out)
+    }
+}

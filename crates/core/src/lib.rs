@@ -1,0 +1,316 @@
+//! The Aurora single level store (the paper's contribution).
+//!
+//! [`Sls`] is the SLS orchestrator of §4: it owns the simulated kernel
+//! and the object store, and implements:
+//!
+//! * **Consistency groups** (§3): sets of process trees checkpointed
+//!   atomically, with external synchrony on communication leaving the
+//!   group.
+//! * **The POSIX object model** (§5.2): every kernel object reachable
+//!   from the group — processes, threads, open-file descriptions, vnodes,
+//!   pipes, sockets (with in-flight fds), kqueues, pseudoterminals, POSIX
+//!   and SysV shared memory, and the VM object hierarchy — is persisted
+//!   as its own on-disk object, exactly once, with sharing restored by
+//!   re-linking OIDs rather than inferred.
+//! * **The checkpoint pipeline** (§4–6): quiesce at the kernel boundary →
+//!   serialize small objects into buffers → system-shadow the memory →
+//!   resume → flush concurrently → commit; retired shadows are collapsed
+//!   (reversed by default) at the next checkpoint.
+//! * **Restore** (§5.3): full or lazy, with PID/TID virtualization,
+//!   SIGCHLD for ephemeral children, and relinked sharing.
+//! * **The Aurora API** (Table 3): `sls_checkpoint`, `sls_restore`,
+//!   `sls_memckpt`, `sls_journal`, `sls_barrier`, `sls_mctl`,
+//!   `sls_fdctl`.
+//! * **Swap integration** (§6): clean pages evict without IO; faults page
+//!   in from the latest checkpoint; lazy restores defer memory loading.
+
+pub mod api;
+pub mod checkpoint;
+pub mod dump;
+pub mod error;
+pub mod extsync;
+pub mod oidmap;
+pub mod restore;
+pub mod sendrecv;
+pub mod serial;
+pub mod swap;
+pub mod world;
+
+pub use api::AuroraApi;
+pub use checkpoint::CheckpointStats;
+pub use error::SlsError;
+pub use restore::RestoreMode;
+
+use aurora_objstore::{ObjectStore, Oid};
+use aurora_posix::{Kernel, Pid, VnodeId};
+use aurora_sim::units::MS;
+use aurora_vm::CollapseMode;
+use oidmap::OidMap;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// A shareable object store handle (shared with the kernel's pager).
+pub type SharedStore = Arc<Mutex<ObjectStore>>;
+
+/// How a VM lineage maps to its on-disk object, with branch visibility
+/// for the pager: versions ≤ `floor` or ≥ `resume` are visible. Live
+/// lineages see everything (`floor = u64::MAX`); lineages restored at an
+/// old epoch see only their own past and their own new future.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LineageBinding {
+    /// On-disk object.
+    pub oid: Oid,
+    /// Highest historical epoch visible.
+    pub floor: u64,
+    /// First post-restore epoch visible.
+    pub resume: u64,
+}
+
+impl LineageBinding {
+    /// A live (unrestored) binding: every committed version visible.
+    pub fn live(oid: Oid) -> Self {
+        Self { oid, floor: u64::MAX, resume: 0 }
+    }
+}
+
+/// Identifier of a consistency group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(pub u64);
+
+/// Per-group configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SlsOptions {
+    /// Checkpoint period for [`Sls::tick`] (default 10 ms — 100×/s, §3).
+    pub period_ns: u64,
+    /// Buffer outbound messages until the covering checkpoint is durable
+    /// (§3). Per-descriptor opt-out via `sls_fdctl`.
+    pub external_synchrony: bool,
+    /// Collapse direction for retired system shadows (§6; `Forward` only
+    /// for the ablation).
+    pub collapse_mode: CollapseMode,
+}
+
+impl Default for SlsOptions {
+    fn default() -> Self {
+        Self {
+            period_ns: 10 * MS,
+            external_synchrony: true,
+            collapse_mode: CollapseMode::Reversed,
+        }
+    }
+}
+
+/// One sealed batch of outbound messages awaiting its checkpoint.
+#[derive(Clone, Debug)]
+pub(crate) struct SealedBatch {
+    /// Release when the clock reaches this (the commit's durability).
+    pub durable_at: u64,
+    /// Messages sealed per socket id.
+    pub counts: HashMap<u64, usize>,
+}
+
+/// One consistency group.
+#[derive(Debug)]
+pub(crate) struct Group {
+    pub id: GroupId,
+    /// Root pids; membership is the live tree closure under the roots.
+    pub roots: Vec<Pid>,
+    pub opts: SlsOptions,
+    pub oidmap: OidMap,
+    /// The group's manifest object in the store.
+    pub manifest: Oid,
+    /// Store epochs holding this group's checkpoints, ascending.
+    pub epochs: Vec<u64>,
+    /// Durability horizon of the latest commit.
+    pub pending_durable: u64,
+    /// Virtual time of the last checkpoint (for `tick`).
+    pub last_checkpoint_ns: u64,
+    /// External-synchrony batches awaiting durability.
+    pub sealed: VecDeque<SealedBatch>,
+    /// Content fingerprints of flushed vnodes (flush only what changed).
+    pub vnode_hash: HashMap<VnodeId, u64>,
+    /// Named (user-visible) checkpoints: name → store epoch.
+    pub named: HashMap<String, u64>,
+}
+
+/// The single level store orchestrator.
+pub struct Sls {
+    /// The kernel under the SLS (applications run against this).
+    pub kernel: Kernel,
+    pub(crate) store: SharedStore,
+    pub(crate) groups: HashMap<GroupId, Group>,
+    /// lineage → binding map shared with the kernel's pager.
+    pub(crate) lineage_oids: Arc<Mutex<HashMap<u64, LineageBinding>>>,
+    next_group: u64,
+}
+
+impl Sls {
+    /// Creates an SLS over a kernel and a formatted store, wiring the
+    /// kernel's pager to the store.
+    pub fn new(mut kernel: Kernel, store: ObjectStore) -> Self {
+        let store: SharedStore = Arc::new(Mutex::new(store));
+        let lineage_oids = Arc::new(Mutex::new(HashMap::new()));
+        kernel.set_pager(Box::new(swap::StorePager {
+            store: store.clone(),
+            lineage_oids: lineage_oids.clone(),
+        }));
+        Self { kernel, store, groups: HashMap::new(), lineage_oids, next_group: 1 }
+    }
+
+    /// Attaches a process tree to the SLS as a new consistency group
+    /// (`sls attach`). The first checkpoint is full.
+    pub fn attach(&mut self, root: Pid, opts: SlsOptions) -> Result<GroupId, SlsError> {
+        self.kernel.proc(root)?;
+        let id = GroupId(self.next_group);
+        self.next_group += 1;
+        let manifest = self.store.lock().alloc_oid();
+        self.groups.insert(
+            id,
+            Group {
+                id,
+                roots: vec![root],
+                opts,
+                oidmap: OidMap::default(),
+                manifest,
+                epochs: Vec::new(),
+                pending_durable: 0,
+                last_checkpoint_ns: 0,
+                sealed: VecDeque::new(),
+                vnode_hash: HashMap::new(),
+                named: HashMap::new(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Marks a process ephemeral (`sls detach`): still quiesced with its
+    /// group, never persisted; the parent sees SIGCHLD after a restore.
+    pub fn detach(&mut self, pid: Pid) -> Result<(), SlsError> {
+        self.kernel.proc_mut(pid)?.ephemeral = true;
+        Ok(())
+    }
+
+    /// Live member pids of a group: the tree closure under its roots,
+    /// in parent-before-child order.
+    pub fn group_pids(&self, gid: GroupId) -> Result<Vec<Pid>, SlsError> {
+        let g = self.groups.get(&gid).ok_or(SlsError::NoSuchGroup(gid))?;
+        let mut out = Vec::new();
+        let mut queue: VecDeque<Pid> = g.roots.iter().copied().collect();
+        while let Some(pid) = queue.pop_front() {
+            let Ok(p) = self.kernel.proc(pid) else { continue };
+            if p.dead {
+                continue;
+            }
+            out.push(pid);
+            queue.extend(p.children.iter().copied());
+        }
+        Ok(out)
+    }
+
+    /// The groups currently attached (`sls ps`).
+    pub fn groups(&self) -> Vec<GroupId> {
+        let mut v: Vec<GroupId> = self.groups.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Store epochs belonging to a group's history.
+    pub fn history(&self, gid: GroupId) -> Result<&[u64], SlsError> {
+        Ok(&self.groups.get(&gid).ok_or(SlsError::NoSuchGroup(gid))?.epochs)
+    }
+
+    /// Names the group's latest checkpoint (`sls checkpoint <name>`).
+    pub fn name_checkpoint(&mut self, gid: GroupId, name: &str) -> Result<u64, SlsError> {
+        let g = self.groups.get_mut(&gid).ok_or(SlsError::NoSuchGroup(gid))?;
+        let epoch = *g.epochs.last().ok_or(SlsError::NoCheckpoint(gid))?;
+        g.named.insert(name.to_string(), epoch);
+        Ok(epoch)
+    }
+
+    /// Looks up a named checkpoint.
+    pub fn named_checkpoint(&self, gid: GroupId, name: &str) -> Result<u64, SlsError> {
+        self.groups
+            .get(&gid)
+            .ok_or(SlsError::NoSuchGroup(gid))?
+            .named
+            .get(name)
+            .copied()
+            .ok_or(SlsError::NoCheckpoint(gid))
+    }
+
+    /// Periodic driver: checkpoints every group whose period has elapsed.
+    /// Returns the stats of the checkpoints taken.
+    pub fn tick(&mut self) -> Result<Vec<CheckpointStats>, SlsError> {
+        let now = self.kernel.charge.clock().now();
+        let due: Vec<GroupId> = self
+            .groups
+            .values()
+            .filter(|g| now.saturating_sub(g.last_checkpoint_ns) >= g.opts.period_ns)
+            .map(|g| g.id)
+            .collect();
+        let mut out = Vec::with_capacity(due.len());
+        for gid in due {
+            out.push(self.checkpoint_now(gid)?);
+        }
+        self.pump_external_synchrony();
+        Ok(out)
+    }
+
+    /// The store handle (benchmarks and tools).
+    pub fn store(&self) -> &SharedStore {
+        &self.store
+    }
+
+    /// Looks up a kernel object's OID in a group's mapping (tools and
+    /// tests).
+    pub fn oidmap_lookup(&self, gid: GroupId, kobj: oidmap::KObj) -> Option<Oid> {
+        self.groups.get(&gid)?.oidmap.get(kobj)
+    }
+
+    /// Bounds a group's retained history to its `n` most recent
+    /// checkpoints, reclaiming superseded blocks from the store
+    /// (§7: "Users can use the history… only limited by the available
+    /// storage" — and reclaim it when they don't).
+    pub fn retain_last(&mut self, gid: GroupId, n: usize) -> Result<u64, SlsError> {
+        let mut reclaimed = 0;
+        loop {
+            let g = self.groups.get_mut(&gid).ok_or(SlsError::NoSuchGroup(gid))?;
+            if g.epochs.len() <= n.max(1) {
+                break;
+            }
+            let dropped = g.epochs.remove(0);
+            g.named.retain(|_, &mut e| e != dropped);
+            let mut store = self.store.lock();
+            // The group's epochs are the store's epochs in this
+            // single-tenant configuration; drop the oldest store
+            // checkpoint until the group's floor is reached.
+            while store.epochs().first().copied() == Some(dropped)
+                || store.epochs().first().map(|&e| e < dropped).unwrap_or(false)
+            {
+                store.drop_oldest_checkpoint()?;
+                reclaimed += 1;
+            }
+        }
+        Ok(reclaimed)
+    }
+
+    /// Simulates a machine crash + reboot: in-flight device writes are
+    /// lost, the store recovers to its last complete checkpoint, and the
+    /// kernel restarts empty (all processes die). Groups are forgotten —
+    /// rediscover them with [`Sls::manifests_at`] and restore.
+    pub fn crash_and_reboot(&mut self) -> Result<(), SlsError> {
+        self.store.lock().crash_and_reopen_in_place()?;
+        let clock = self.kernel.charge.clock().clone();
+        let model = self.kernel.charge.model().clone();
+        let mut kernel = Kernel::new(clock, model);
+        self.lineage_oids.lock().clear();
+        kernel.set_pager(Box::new(swap::StorePager {
+            store: self.store.clone(),
+            lineage_oids: self.lineage_oids.clone(),
+        }));
+        self.kernel = kernel;
+        self.groups.clear();
+        Ok(())
+    }
+}

@@ -1,0 +1,153 @@
+//! The kernel-object → OID mapping (§5.2).
+//!
+//! "For each incremental checkpoint Aurora maintains a mapping of each
+//! object's address in the kernel to a 64-bit on-disk object identifier.
+//! This structure allows Aurora to scan over all persistent objects and
+//! serialize each of them to storage exactly once." Sharing falls out for
+//! free: two fd-table slots holding the same open-file description map to
+//! the same OID, so the description is stored once and both slots encode
+//! a reference.
+
+use aurora_objstore::{ObjectKind, ObjectStore, Oid};
+use std::collections::HashMap;
+
+/// A key identifying a kernel object (the "address in the kernel").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KObj {
+    /// A process (global pid).
+    Proc(u32),
+    /// A thread (global tid).
+    Thread(u32),
+    /// An open-file description.
+    File(u64),
+    /// A vnode.
+    Vnode(u64),
+    /// A pipe.
+    Pipe(u64),
+    /// A socket.
+    Socket(u64),
+    /// A kqueue.
+    Kqueue(u64),
+    /// A pseudoterminal pair.
+    Pty(u64),
+    /// A POSIX shm object.
+    ShmPosix(u64),
+    /// A SysV shm segment.
+    ShmSysv(u64),
+    /// A logical memory object (VM lineage).
+    Mem(u64),
+}
+
+/// Record tags for serialized POSIX objects (also the store subtype).
+pub mod tag {
+    /// Process record.
+    pub const PROC: u16 = 0x01;
+    /// Thread record.
+    pub const THREAD: u16 = 0x02;
+    /// Open-file description record.
+    pub const FILE: u16 = 0x03;
+    /// Vnode record.
+    pub const VNODE: u16 = 0x04;
+    /// Pipe record.
+    pub const PIPE: u16 = 0x05;
+    /// Socket record.
+    pub const SOCKET: u16 = 0x06;
+    /// Kqueue record.
+    pub const KQUEUE: u16 = 0x07;
+    /// Pseudoterminal record.
+    pub const PTY: u16 = 0x08;
+    /// POSIX shm record.
+    pub const SHM_POSIX: u16 = 0x09;
+    /// SysV shm record.
+    pub const SHM_SYSV: u16 = 0x0A;
+    /// Memory (VM) object record.
+    pub const MEM: u16 = 0x0B;
+    /// Group manifest record.
+    pub const MANIFEST: u16 = 0x0C;
+}
+
+impl KObj {
+    /// The store kind for this object's on-disk representation.
+    pub fn kind(&self) -> ObjectKind {
+        match self {
+            KObj::Proc(_) => ObjectKind::Posix(tag::PROC),
+            KObj::Thread(_) => ObjectKind::Posix(tag::THREAD),
+            KObj::File(_) => ObjectKind::Posix(tag::FILE),
+            KObj::Vnode(_) => ObjectKind::File,
+            KObj::Pipe(_) => ObjectKind::Posix(tag::PIPE),
+            KObj::Socket(_) => ObjectKind::Posix(tag::SOCKET),
+            KObj::Kqueue(_) => ObjectKind::Posix(tag::KQUEUE),
+            KObj::Pty(_) => ObjectKind::Posix(tag::PTY),
+            KObj::ShmPosix(_) => ObjectKind::Posix(tag::SHM_POSIX),
+            KObj::ShmSysv(_) => ObjectKind::Posix(tag::SHM_SYSV),
+            KObj::Mem(_) => ObjectKind::Memory,
+        }
+    }
+}
+
+/// The per-group mapping.
+#[derive(Debug, Default)]
+pub struct OidMap {
+    map: HashMap<KObj, Oid>,
+}
+
+impl OidMap {
+    /// Returns the OID for `kobj`, allocating and creating the store
+    /// object on first sight.
+    pub fn get_or_create(
+        &mut self,
+        store: &mut ObjectStore,
+        kobj: KObj,
+    ) -> Result<Oid, aurora_objstore::StoreError> {
+        if let Some(&oid) = self.map.get(&kobj) {
+            return Ok(oid);
+        }
+        let oid = store.alloc_oid();
+        store.create_object(oid, kobj.kind())?;
+        self.map.insert(kobj, oid);
+        Ok(oid)
+    }
+
+    /// Looks up an existing mapping.
+    pub fn get(&self, kobj: KObj) -> Option<Oid> {
+        self.map.get(&kobj).copied()
+    }
+
+    /// Binds a kernel object to an existing OID (restore path).
+    pub fn bind(&mut self, kobj: KObj, oid: Oid) {
+        self.map.insert(kobj, oid);
+    }
+
+    /// Number of mapped objects.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aurora_sim::cost::Charge;
+    use aurora_sim::{Clock, CostModel};
+    use aurora_storage::testbed_array;
+
+    #[test]
+    fn same_kernel_object_maps_once() {
+        let clock = Clock::new();
+        let dev = testbed_array(&clock, 1 << 24);
+        let mut store =
+            ObjectStore::format(dev, Charge::new(clock, CostModel::default()), 256).unwrap();
+        let mut m = OidMap::default();
+        let a = m.get_or_create(&mut store, KObj::File(7)).unwrap();
+        let b = m.get_or_create(&mut store, KObj::File(7)).unwrap();
+        let c = m.get_or_create(&mut store, KObj::File(8)).unwrap();
+        assert_eq!(a, b, "shared description serializes exactly once");
+        assert_ne!(a, c);
+        assert_eq!(m.len(), 2);
+    }
+}

@@ -1,0 +1,78 @@
+//! A pre-wired machine for examples and quickstarts: kernel + testbed
+//! store + SLS on one virtual clock.
+
+use crate::{Sls, SlsError};
+use aurora_objstore::ObjectStore;
+use aurora_posix::{Kernel, Pid};
+use aurora_sim::cost::Charge;
+use aurora_sim::{Clock, CostModel};
+use aurora_storage::testbed_array;
+use aurora_vm::{Prot, PAGE_SIZE};
+
+/// A simulated machine running the Aurora single level store.
+pub struct World {
+    /// The SLS (owns the kernel; applications run against
+    /// `world.sls.kernel`).
+    pub sls: Sls,
+    /// The shared virtual clock.
+    pub clock: Clock,
+}
+
+impl World {
+    /// Boots the paper's testbed: 4× Optane-like devices striped at
+    /// 64 KiB (2 GiB each), default cost calibration.
+    pub fn quickstart() -> Self {
+        Self::with_store_bytes(2 << 30)
+    }
+
+    /// Boots with `bytes` per store device.
+    pub fn with_store_bytes(bytes: u64) -> Self {
+        let clock = Clock::new();
+        let model = CostModel::default();
+        let kernel = Kernel::new(clock.clone(), model.clone());
+        let dev = testbed_array(&clock, bytes);
+        let store = ObjectStore::format(dev, Charge::new(clock.clone(), model), 64 * 1024)
+            .expect("format fresh store");
+        Self { sls: Sls::new(kernel, store), clock }
+    }
+
+    /// Spawns a toy application: one process with a 16-page counter
+    /// region at a known address. Returns its pid.
+    pub fn spawn_counter_app(&mut self) -> Pid {
+        let pid = self.sls.kernel.spawn("counter");
+        let addr = self
+            .sls
+            .kernel
+            .mmap_anon(pid, 16, Prot::RW)
+            .expect("map counter region");
+        self.sls.kernel.mem_write(pid, addr, &0u64.to_le_bytes()).expect("init counter");
+        pid
+    }
+
+    /// Increments the counter app's counter (first mapping, first bytes).
+    pub fn bump_counter(&mut self, pid: Pid) -> Result<u64, SlsError> {
+        let space = self.sls.kernel.proc(pid)?.space;
+        let addr = self.sls.kernel.vm.entries(space)?[0].start;
+        let mut buf = [0u8; 8];
+        self.sls.kernel.mem_read(pid, addr, &mut buf)?;
+        let v = u64::from_le_bytes(buf) + 1;
+        self.sls.kernel.mem_write(pid, addr, &v.to_le_bytes())?;
+        Ok(v)
+    }
+
+    /// Reads the counter app's counter.
+    pub fn read_counter(&mut self, pid: Pid) -> Result<u64, SlsError> {
+        let space = self.sls.kernel.proc(pid)?.space;
+        let addr = self.sls.kernel.vm.entries(space)?[0].start;
+        let mut buf = [0u8; 8];
+        self.sls.kernel.mem_read(pid, addr, &mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Dirty a contiguous region of a process (benchmark helper).
+    pub fn dirty_region(&mut self, pid: Pid, pages: u64) -> Result<u64, SlsError> {
+        let addr = self.sls.kernel.mmap_anon(pid, pages, Prot::RW)?;
+        self.sls.kernel.mem_touch(pid, addr, pages * PAGE_SIZE as u64)?;
+        Ok(addr)
+    }
+}

@@ -1,0 +1,95 @@
+//! Asynchronous IO tracking (§5.3).
+//!
+//! Aurora quiesces in-flight AIOs for checkpointing: writes delay the
+//! checkpoint's completion until incorporated; reads are recorded and
+//! reissued at restore.
+
+use crate::file::FileId;
+
+/// Direction of an AIO.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AioKind {
+    /// Asynchronous read: recorded in the checkpoint and reissued on
+    /// restore.
+    Read,
+    /// Asynchronous write: the checkpoint completes only after it lands.
+    Write,
+}
+
+/// One in-flight asynchronous IO.
+#[derive(Clone, Debug)]
+pub struct AioOp {
+    /// Operation identity.
+    pub id: u64,
+    /// Issuing process (global pid).
+    pub pid: u32,
+    /// Target open-file description.
+    pub file: FileId,
+    /// File offset.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// Direction.
+    pub kind: AioKind,
+    /// Completed?
+    pub done: bool,
+    /// Failed with an error that must be reflected in the checkpoint.
+    pub failed: bool,
+}
+
+/// The kernel AIO queue.
+#[derive(Clone, Debug, Default)]
+pub struct AioQueue {
+    /// All tracked operations.
+    pub ops: Vec<AioOp>,
+    next: u64,
+}
+
+impl AioQueue {
+    /// Issues an AIO, returning its id.
+    pub fn issue(&mut self, pid: u32, file: FileId, offset: u64, len: u64, kind: AioKind) -> u64 {
+        self.next += 1;
+        self.ops.push(AioOp { id: self.next, pid, file, offset, len, kind, done: false, failed: false });
+        self.next
+    }
+
+    /// Marks an operation complete.
+    pub fn complete(&mut self, id: u64, failed: bool) -> bool {
+        match self.ops.iter_mut().find(|o| o.id == id) {
+            Some(op) => {
+                op.done = true;
+                op.failed = failed;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// In-flight (incomplete) operations.
+    pub fn in_flight(&self) -> impl Iterator<Item = &AioOp> {
+        self.ops.iter().filter(|o| !o.done)
+    }
+
+    /// Drops completed operations (reaped by the application).
+    pub fn reap(&mut self) {
+        self.ops.retain(|o| !o.done);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issue_complete_reap() {
+        let mut q = AioQueue::default();
+        let a = q.issue(1, FileId(1), 0, 4096, AioKind::Write);
+        let _b = q.issue(1, FileId(1), 4096, 4096, AioKind::Read);
+        assert_eq!(q.in_flight().count(), 2);
+        assert!(q.complete(a, false));
+        assert_eq!(q.in_flight().count(), 1);
+        q.reap();
+        assert_eq!(q.ops.len(), 1);
+        assert!(!q.complete(a, false), "reaped op is gone");
+    }
+}

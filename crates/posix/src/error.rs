@@ -1,0 +1,69 @@
+//! The kernel error type (errno-flavoured).
+
+use aurora_vm::VmError;
+use std::fmt;
+
+/// Errors returned by kernel operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KError {
+    /// No such process.
+    Srch,
+    /// Bad file descriptor.
+    Badf,
+    /// No such file or directory.
+    Noent,
+    /// File exists.
+    Exist,
+    /// Not a directory.
+    Notdir,
+    /// Is a directory.
+    Isdir,
+    /// Invalid argument.
+    Inval,
+    /// Operation not supported on this object.
+    Opnotsupp,
+    /// Resource temporarily unavailable (would block).
+    Again,
+    /// Broken pipe / connection.
+    Pipe,
+    /// Address already in use.
+    Addrinuse,
+    /// Not connected.
+    Notconn,
+    /// Interrupted system call (visible only to non-restartable sleeps).
+    Intr,
+    /// A memory error from the VM layer.
+    Vm(VmError),
+}
+
+impl fmt::Display for KError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KError::Srch => write!(f, "ESRCH: no such process"),
+            KError::Badf => write!(f, "EBADF: bad file descriptor"),
+            KError::Noent => write!(f, "ENOENT: no such file or directory"),
+            KError::Exist => write!(f, "EEXIST: file exists"),
+            KError::Notdir => write!(f, "ENOTDIR: not a directory"),
+            KError::Isdir => write!(f, "EISDIR: is a directory"),
+            KError::Inval => write!(f, "EINVAL: invalid argument"),
+            KError::Opnotsupp => write!(f, "EOPNOTSUPP: operation not supported"),
+            KError::Again => write!(f, "EAGAIN: resource temporarily unavailable"),
+            KError::Pipe => write!(f, "EPIPE: broken pipe"),
+            KError::Addrinuse => write!(f, "EADDRINUSE: address already in use"),
+            KError::Notconn => write!(f, "ENOTCONN: not connected"),
+            KError::Intr => write!(f, "EINTR: interrupted system call"),
+            KError::Vm(e) => write!(f, "VM error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KError {}
+
+impl From<VmError> for KError {
+    fn from(e: VmError) -> Self {
+        KError::Vm(e)
+    }
+}
+
+/// Result alias for kernel operations.
+pub type Result<T> = std::result::Result<T, KError>;

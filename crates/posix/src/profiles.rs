@@ -1,0 +1,203 @@
+//! Synthetic application profiles for Table 6.
+//!
+//! The paper checkpoints five real applications (Firefox, mosh, Pillow,
+//! Tomcat, vim). We cannot run those binaries on a simulated kernel, so
+//! each profile recreates the *shape* the paper says drives stop time:
+//! resident set size, number of address-space objects ("vim and pillow
+//! have small memory footprints, but complex OS state including hundreds
+//! of address space objects"), thread count (Tomcat's JVM), process count
+//! (Firefox's multi-process architecture), and descriptor mix.
+
+use crate::error::Result;
+use crate::file::OpenFlags;
+use crate::ids::Pid;
+use crate::kernel::Kernel;
+use crate::kqueue::{Filter, Kevent};
+use aurora_sim::units::MIB;
+use aurora_vm::{Prot, PAGE_SIZE};
+
+/// Shape parameters of one application.
+#[derive(Clone, Copy, Debug)]
+pub struct AppProfile {
+    /// Display name (the paper's column).
+    pub name: &'static str,
+    /// Number of processes.
+    pub procs: u32,
+    /// Threads per process.
+    pub threads_per_proc: u32,
+    /// Total resident set across the tree, bytes.
+    pub rss_bytes: u64,
+    /// VM map entries per process.
+    pub vm_entries: u32,
+    /// Regular-file descriptors per process.
+    pub files: u32,
+    /// Sockets per process.
+    pub sockets: u32,
+    /// Pipes per process.
+    pub pipes: u32,
+    /// Kqueues per process (with a handful of events each).
+    pub kqueues: u32,
+    /// Pseudoterminals (first process only).
+    pub ptys: u32,
+}
+
+/// Firefox: multi-process, large RSS, heavy descriptor load.
+pub const FIREFOX: AppProfile = AppProfile {
+    name: "firefox",
+    procs: 8,
+    threads_per_proc: 8,
+    rss_bytes: 198 * MIB,
+    vm_entries: 120,
+    files: 24,
+    sockets: 8,
+    pipes: 6,
+    kqueues: 1,
+    ptys: 0,
+};
+
+/// mosh: small remote-shell client/server pair.
+pub const MOSH: AppProfile = AppProfile {
+    name: "mosh",
+    procs: 2,
+    threads_per_proc: 2,
+    rss_bytes: 24 * MIB,
+    vm_entries: 40,
+    files: 6,
+    sockets: 2,
+    pipes: 1,
+    kqueues: 0,
+    ptys: 1,
+};
+
+/// Pillow (Python): small RSS, but hundreds of address-space objects.
+pub const PILLOW: AppProfile = AppProfile {
+    name: "pillow",
+    procs: 1,
+    threads_per_proc: 4,
+    rss_bytes: 75 * MIB,
+    vm_entries: 320,
+    files: 16,
+    sockets: 0,
+    pipes: 1,
+    kqueues: 0,
+    ptys: 0,
+};
+
+/// Tomcat (JVM): one big process, many threads, many mappings.
+pub const TOMCAT: AppProfile = AppProfile {
+    name: "tomcat",
+    procs: 1,
+    threads_per_proc: 64,
+    rss_bytes: 197 * MIB,
+    vm_entries: 700,
+    files: 48,
+    sockets: 16,
+    pipes: 2,
+    kqueues: 2,
+    ptys: 0,
+};
+
+/// vim: tiny, but a Python-scripting-laden address space.
+pub const VIM: AppProfile = AppProfile {
+    name: "vim",
+    procs: 1,
+    threads_per_proc: 2,
+    rss_bytes: 48 * MIB,
+    vm_entries: 260,
+    files: 10,
+    sockets: 0,
+    pipes: 1,
+    kqueues: 0,
+    ptys: 1,
+};
+
+/// All Table 6 profiles in column order.
+pub const TABLE6: [AppProfile; 5] = [FIREFOX, MOSH, PILLOW, TOMCAT, VIM];
+
+impl AppProfile {
+    /// Builds the synthetic application in `k`, returning its process
+    /// tree (first pid is the root). Every page of the RSS is touched so
+    /// the first checkpoint sees the full footprint.
+    pub fn build(&self, k: &mut Kernel) -> Result<Vec<Pid>> {
+        let mut pids = Vec::with_capacity(self.procs as usize);
+        let root = k.spawn(self.name);
+        pids.push(root);
+        for _ in 1..self.procs {
+            pids.push(k.fork(root)?);
+        }
+        let per_proc = self.rss_bytes / self.procs as u64;
+        let per_entry_pages =
+            (per_proc / self.vm_entries as u64 / PAGE_SIZE as u64).max(1);
+        for (i, &pid) in pids.iter().enumerate() {
+            for _ in 1..self.threads_per_proc {
+                k.add_thread(pid)?;
+            }
+            for e in 0..self.vm_entries {
+                let addr = k.mmap_anon(pid, per_entry_pages, Prot::RW)?;
+                k.mem_touch(pid, addr, per_entry_pages * PAGE_SIZE as u64)?;
+                // A few bytes of identifiable content for restore checks.
+                k.mem_write(pid, addr, &(e as u64).to_le_bytes())?;
+            }
+            for f in 0..self.files {
+                let path = format!("/{}-{}-{}", self.name, i, f);
+                let fd = k.open(pid, &path, OpenFlags::RDWR, true)?;
+                k.write(pid, fd, format!("contents of {path}").as_bytes())?;
+            }
+            for _ in 0..self.sockets {
+                k.socketpair(pid)?;
+            }
+            for _ in 0..self.pipes {
+                k.pipe(pid)?;
+            }
+            for q in 0..self.kqueues {
+                let kq = k.kqueue(pid)?;
+                for ev in 0..8 {
+                    k.kevent_register(
+                        pid,
+                        kq,
+                        Kevent { ident: ev, filter: Filter::Read, enabled: true, udata: q as u64 },
+                    )?;
+                }
+            }
+        }
+        for _ in 0..self.ptys {
+            k.openpty(root)?;
+        }
+        Ok(pids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_build_and_match_rss() {
+        for profile in [MOSH, VIM] {
+            let mut k = Kernel::boot();
+            let pids = profile.build(&mut k).unwrap();
+            assert_eq!(pids.len(), profile.procs as usize);
+            let resident = k.vm.resident_frames() as u64 * PAGE_SIZE as u64;
+            let lo = profile.rss_bytes * 8 / 10;
+            assert!(resident >= lo, "{}: resident {resident} < {lo}", profile.name);
+        }
+    }
+
+    #[test]
+    fn tomcat_has_many_threads() {
+        let mut k = Kernel::boot();
+        let pids = TOMCAT.build(&mut k).unwrap();
+        assert_eq!(k.proc(pids[0]).unwrap().threads.len(), 64);
+    }
+
+    #[test]
+    fn firefox_is_a_process_tree() {
+        let mut k = Kernel::boot();
+        let pids = FIREFOX.build(&mut k).unwrap();
+        let root = pids[0];
+        assert_eq!(k.proc(root).unwrap().children.len(), 7);
+        for &c in &pids[1..] {
+            assert_eq!(k.proc(c).unwrap().ppid, Some(root));
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Pseudoterminals.
+//!
+//! Restoring a pty is the slow row of Table 4 (~30 µs): it must recreate
+//! the device node in devfs, which takes the devfs locks.
+
+use std::collections::VecDeque;
+
+/// Terminal settings that survive a checkpoint (termios subset).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Termios {
+    /// Canonical (line-buffered) mode.
+    pub canonical: bool,
+    /// Echo input.
+    pub echo: bool,
+    /// Baud rate.
+    pub baud: u32,
+}
+
+impl Default for Termios {
+    fn default() -> Self {
+        Self { canonical: true, echo: true, baud: 38_400 }
+    }
+}
+
+/// A pseudoterminal pair.
+#[derive(Clone, Debug)]
+pub struct Pty {
+    /// Pair identity (the `/dev/pts/N` number).
+    pub id: u64,
+    /// Terminal settings.
+    pub termios: Termios,
+    /// Bytes waiting master→slave (input to the application).
+    pub input: VecDeque<u8>,
+    /// Bytes waiting slave→master (application output).
+    pub output: VecDeque<u8>,
+    /// Foreground process group (local pid space).
+    pub fg_pgid: Option<u32>,
+}
+
+impl Pty {
+    /// Creates a pty pair with default settings.
+    pub fn new(id: u64) -> Self {
+        Self {
+            id,
+            termios: Termios::default(),
+            input: VecDeque::new(),
+            output: VecDeque::new(),
+            fg_pgid: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_termios_is_canonical() {
+        let p = Pty::new(0);
+        assert!(p.termios.canonical && p.termios.echo);
+        assert_eq!(p.termios.baud, 38_400);
+    }
+}

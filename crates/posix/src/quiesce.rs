@@ -1,0 +1,121 @@
+//! Quiescing at the kernel boundary (§5.1).
+//!
+//! Aurora's first implementation used SIGSTOP, which was incomplete (in-
+//! flight syscalls keep mutating state) and non-transparent (EINTR leaks
+//! to the application). The shipping design sends IPIs to every core
+//! running the group, waits for short syscalls to drain, and interrupts
+//! sleeping syscalls — rewinding the thread's PC to just before the
+//! `syscall` instruction so it transparently reissues the call on resume.
+
+use crate::error::Result;
+use crate::ids::Pid;
+use crate::kernel::Kernel;
+use crate::process::ThreadState;
+
+/// What quiescing a group did (for tests and cost audits).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QuiesceReport {
+    /// Threads stopped.
+    pub threads: u64,
+    /// Threads that were in short syscalls we waited out.
+    pub drained_syscalls: u64,
+    /// Sleeping syscalls interrupted and transparently restarted.
+    pub restarted_syscalls: u64,
+}
+
+impl Kernel {
+    /// Quiesces every thread of `pids` at the kernel boundary. Charges
+    /// IPI and drain costs to the clock.
+    pub fn quiesce(&mut self, pids: &[Pid]) -> Result<QuiesceReport> {
+        let mut report = QuiesceReport::default();
+        let mut tids = Vec::new();
+        for &pid in pids {
+            tids.extend(self.proc(pid)?.threads.iter().copied());
+        }
+        // One IPI per core the group occupies, plus the boundary drain.
+        self.charge.raw(self.charge.model().quiesce_ns(tids.len() as u64));
+        for tid in tids {
+            let t = self.threads.get_mut(&tid).expect("listed above");
+            match t.state {
+                ThreadState::User => {}
+                ThreadState::Syscall => {
+                    report.drained_syscalls += 1;
+                }
+                ThreadState::SleepingSyscall { insn_len } => {
+                    // Transparent restart: rewind the PC so the thread
+                    // reissues the call; no EINTR ever reaches userspace.
+                    t.regs.pc = t.regs.pc.wrapping_sub(insn_len as u64);
+                    t.restarts += 1;
+                    report.restarted_syscalls += 1;
+                }
+                ThreadState::Stopped | ThreadState::Dead => continue,
+            }
+            t.state = ThreadState::Stopped;
+            report.threads += 1;
+        }
+        Ok(report)
+    }
+
+    /// Resumes a quiesced group.
+    pub fn resume(&mut self, pids: &[Pid]) -> Result<()> {
+        for &pid in pids {
+            let tids = self.proc(pid)?.threads.clone();
+            for tid in tids {
+                let t = self.threads.get_mut(&tid).expect("thread of live process");
+                if t.state == ThreadState::Stopped {
+                    t.state = ThreadState::User;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::Regs;
+
+    #[test]
+    fn quiesce_stops_all_threads() {
+        let mut k = Kernel::boot();
+        let p = k.spawn("app");
+        k.add_thread(p).unwrap();
+        k.add_thread(p).unwrap();
+        let r = k.quiesce(&[p]).unwrap();
+        assert_eq!(r.threads, 3);
+        for tid in &k.proc(p).unwrap().threads.clone() {
+            assert_eq!(k.threads[tid].state, ThreadState::Stopped);
+        }
+        k.resume(&[p]).unwrap();
+        for tid in &k.proc(p).unwrap().threads.clone() {
+            assert_eq!(k.threads[tid].state, ThreadState::User);
+        }
+    }
+
+    #[test]
+    fn sleeping_syscall_is_rewound_not_eintr() {
+        let mut k = Kernel::boot();
+        let p = k.spawn("app");
+        let tid = k.proc(p).unwrap().threads[0];
+        {
+            let t = k.threads.get_mut(&tid).unwrap();
+            t.regs = Regs { pc: 0x400_1002, ..Regs::default() };
+            t.state = ThreadState::SleepingSyscall { insn_len: 2 };
+        }
+        let r = k.quiesce(&[p]).unwrap();
+        assert_eq!(r.restarted_syscalls, 1);
+        let t = &k.threads[&tid];
+        assert_eq!(t.regs.pc, 0x400_1000, "PC rewound past the syscall insn");
+        assert_eq!(t.restarts, 1);
+    }
+
+    #[test]
+    fn quiesce_charges_the_clock() {
+        let mut k = Kernel::boot();
+        let p = k.spawn("app");
+        let before = k.charge.clock().now();
+        k.quiesce(&[p]).unwrap();
+        assert!(k.charge.clock().now() > before);
+    }
+}

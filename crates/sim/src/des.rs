@@ -1,0 +1,232 @@
+//! A small discrete-event simulation engine.
+//!
+//! The client/server experiments (Memcached under Mutilate load, RocksDB
+//! under Prefix_dist) need queueing behaviour — tail latency comes from
+//! requests waiting behind checkpoint stop times and external-synchrony
+//! release batching. The engine is deliberately minimal: a time-ordered
+//! event heap plus FIFO resource helpers.
+
+use crate::clock::Clock;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, PartialEq, Eq)]
+struct Scheduled<E> {
+    at: u64,
+    seq: u64,
+    event: E,
+}
+
+impl<E: Eq> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<E: Eq> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic event queue over a virtual [`Clock`].
+///
+/// Events with equal timestamps fire in scheduling order (FIFO), which
+/// keeps runs reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use aurora_sim::des::Engine;
+///
+/// let mut eng: Engine<&'static str> = Engine::new();
+/// eng.schedule_at(20, "second");
+/// eng.schedule_at(10, "first");
+/// assert_eq!(eng.next(), Some((10, "first")));
+/// assert_eq!(eng.next(), Some((20, "second")));
+/// assert_eq!(eng.next(), None);
+/// ```
+#[derive(Debug)]
+pub struct Engine<E> {
+    clock: Clock,
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    seq: u64,
+}
+
+impl<E: Eq> Engine<E> {
+    /// Creates an engine with a fresh clock.
+    pub fn new() -> Self {
+        Self::with_clock(Clock::new())
+    }
+
+    /// Creates an engine over an existing clock (shared with device models
+    /// so IO completions and request events interleave on one timeline).
+    pub fn with_clock(clock: Clock) -> Self {
+        Self { clock, heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// The engine's clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> u64 {
+        self.clock.now()
+    }
+
+    /// Schedules `event` at absolute time `at` (clamped to now).
+    pub fn schedule_at(&mut self, at: u64, event: E) {
+        let at = at.max(self.clock.now());
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    /// Schedules `event` `delta` ns from now.
+    pub fn schedule_in(&mut self, delta: u64, event: E) {
+        self.schedule_at(self.clock.now() + delta, event);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn next(&mut self) -> Option<(u64, E)> {
+        let Reverse(s) = self.heap.pop()?;
+        self.clock.advance_to(s.at);
+        Some((s.at, s.event))
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+impl<E: Eq> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A single FIFO server (e.g. a NIC serializing packets).
+///
+/// `serve` returns the interval `[start, done)` during which the work
+/// occupies the server.
+#[derive(Clone, Debug, Default)]
+pub struct Fifo {
+    next_free: u64,
+}
+
+impl Fifo {
+    /// Creates an idle server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Serves work arriving at `arrival` taking `service_ns`; returns
+    /// `(start, completion)`.
+    pub fn serve(&mut self, arrival: u64, service_ns: u64) -> (u64, u64) {
+        let start = arrival.max(self.next_free);
+        let done = start + service_ns;
+        self.next_free = done;
+        (start, done)
+    }
+
+    /// Time at which the server next becomes idle.
+    pub fn next_free(&self) -> u64 {
+        self.next_free
+    }
+
+    /// Blocks the server until `until` (e.g. a checkpoint stop pauses all
+    /// worker cores).
+    pub fn block_until(&mut self, until: u64) {
+        self.next_free = self.next_free.max(until);
+    }
+}
+
+/// A pool of `k` identical FIFO servers (e.g. worker threads on cores):
+/// work goes to the earliest-free server.
+#[derive(Clone, Debug)]
+pub struct ServerPool {
+    free_at: BinaryHeap<Reverse<u64>>,
+}
+
+impl ServerPool {
+    /// Creates a pool of `k` idle servers.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "server pool needs at least one server");
+        let mut free_at = BinaryHeap::with_capacity(k);
+        for _ in 0..k {
+            free_at.push(Reverse(0));
+        }
+        Self { free_at }
+    }
+
+    /// Serves work arriving at `arrival` taking `service_ns` on the
+    /// earliest-free server; returns `(start, completion)`.
+    pub fn serve(&mut self, arrival: u64, service_ns: u64) -> (u64, u64) {
+        let Reverse(free) = self.free_at.pop().expect("pool is never empty");
+        let start = arrival.max(free);
+        let done = start + service_ns;
+        self.free_at.push(Reverse(done));
+        (start, done)
+    }
+
+    /// Blocks every server until `until` (a stop-the-world pause).
+    pub fn block_all_until(&mut self, until: u64) {
+        let k = self.free_at.len();
+        let mut v: Vec<u64> = Vec::with_capacity(k);
+        while let Some(Reverse(f)) = self.free_at.pop() {
+            v.push(f.max(until));
+        }
+        for f in v {
+            self.free_at.push(Reverse(f));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_queues_back_to_back() {
+        let mut f = Fifo::new();
+        assert_eq!(f.serve(0, 10), (0, 10));
+        assert_eq!(f.serve(5, 10), (10, 20)); // waits for the first
+        assert_eq!(f.serve(100, 10), (100, 110)); // idle gap
+    }
+
+    #[test]
+    fn pool_uses_all_servers() {
+        let mut p = ServerPool::new(2);
+        assert_eq!(p.serve(0, 10), (0, 10));
+        assert_eq!(p.serve(0, 10), (0, 10)); // second server
+        assert_eq!(p.serve(0, 10), (10, 20)); // queued
+    }
+
+    #[test]
+    fn pool_block_all() {
+        let mut p = ServerPool::new(2);
+        p.block_all_until(50);
+        assert_eq!(p.serve(0, 10), (50, 60));
+    }
+
+    #[test]
+    fn engine_fifo_ties() {
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule_at(5, 1);
+        eng.schedule_at(5, 2);
+        assert_eq!(eng.next(), Some((5, 1)));
+        assert_eq!(eng.next(), Some((5, 2)));
+        assert_eq!(eng.now(), 5);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule_at(10, 1);
+        assert_eq!(eng.next(), Some((10, 1)));
+        eng.schedule_in(5, 2);
+        assert_eq!(eng.next(), Some((15, 2)));
+    }
+}

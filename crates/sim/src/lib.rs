@@ -1,0 +1,32 @@
+//! Simulation substrate for the Aurora single level store reproduction.
+//!
+//! The paper evaluates Aurora on real hardware (dual Xeon Silver 4116,
+//! 4× Intel Optane 900P). This reproduction runs the *same algorithms* in
+//! user space and accounts for their cost on a deterministic **virtual
+//! clock**. This crate provides:
+//!
+//! * [`clock::Clock`] — the virtual nanosecond clock shared by every
+//!   simulated component.
+//! * [`cost::CostModel`] — calibrated per-primitive costs (lock acquire,
+//!   cache-missing pointer chase, PTE update, TLB shootdown IPI, page
+//!   copy, …) with the paper-derived calibration documented in one place.
+//! * [`des`] — a small discrete-event engine used by the client/server
+//!   experiment harnesses (Memcached, RocksDB).
+//! * [`stats`] — streaming histograms and percentile summaries.
+//! * [`codec`] — the hand-written, versioned binary codec used for every
+//!   on-disk record in the object store and for checkpoint serialization.
+//! * [`dist`] — deterministic workload distributions (Zipf, the Facebook
+//!   ETC key/value size mixtures).
+
+pub mod clock;
+pub mod codec;
+pub mod cost;
+pub mod des;
+pub mod dist;
+pub mod stats;
+pub mod units;
+
+pub use clock::Clock;
+pub use codec::{Decoder, Encoder};
+pub use cost::CostModel;
+pub use stats::Histogram;

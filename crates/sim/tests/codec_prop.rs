@@ -1,0 +1,93 @@
+//! Property tests: the codec round-trips arbitrary value sequences and
+//! never panics on arbitrary input bytes.
+
+use aurora_sim::{Decoder, Encoder};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Val {
+    U8(u8),
+    U16(u16),
+    U32(u32),
+    U64(u64),
+    I64(i64),
+    Bool(bool),
+    Bytes(Vec<u8>),
+    Str(String),
+    OptU64(Option<u64>),
+}
+
+fn val_strategy() -> impl Strategy<Value = Val> {
+    prop_oneof![
+        any::<u8>().prop_map(Val::U8),
+        any::<u16>().prop_map(Val::U16),
+        any::<u32>().prop_map(Val::U32),
+        any::<u64>().prop_map(Val::U64),
+        any::<i64>().prop_map(Val::I64),
+        any::<bool>().prop_map(Val::Bool),
+        prop::collection::vec(any::<u8>(), 0..64).prop_map(Val::Bytes),
+        "[a-zA-Z0-9 /._-]{0,32}".prop_map(Val::Str),
+        any::<Option<u64>>().prop_map(Val::OptU64),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_any_sequence(vals in prop::collection::vec(val_strategy(), 0..40)) {
+        let mut e = Encoder::new();
+        for v in &vals {
+            match v {
+                Val::U8(x) => e.u8(*x),
+                Val::U16(x) => e.u16(*x),
+                Val::U32(x) => e.u32(*x),
+                Val::U64(x) => e.u64(*x),
+                Val::I64(x) => e.i64(*x),
+                Val::Bool(x) => e.bool(*x),
+                Val::Bytes(x) => e.bytes(x),
+                Val::Str(x) => e.str(x),
+                Val::OptU64(x) => e.opt_u64(*x),
+            }
+        }
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        for v in &vals {
+            match v {
+                Val::U8(x) => prop_assert_eq!(d.u8().unwrap(), *x),
+                Val::U16(x) => prop_assert_eq!(d.u16().unwrap(), *x),
+                Val::U32(x) => prop_assert_eq!(d.u32().unwrap(), *x),
+                Val::U64(x) => prop_assert_eq!(d.u64().unwrap(), *x),
+                Val::I64(x) => prop_assert_eq!(d.i64().unwrap(), *x),
+                Val::Bool(x) => prop_assert_eq!(d.bool().unwrap(), *x),
+                Val::Bytes(x) => prop_assert_eq!(d.bytes().unwrap(), x.as_slice()),
+                Val::Str(x) => prop_assert_eq!(d.str().unwrap(), x.as_str()),
+                Val::OptU64(x) => prop_assert_eq!(d.opt_u64().unwrap(), *x),
+            }
+        }
+        prop_assert!(d.is_empty());
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Every decode either succeeds or errors; it must not panic or
+        // read out of bounds.
+        let mut d = Decoder::new(&bytes);
+        let _ = d.any_record();
+        let mut d = Decoder::new(&bytes);
+        let _ = d.bytes();
+        let _ = d.u64();
+        let _ = d.str();
+        let _ = d.opt_u64();
+    }
+
+    #[test]
+    fn records_roundtrip(tag in 0u16..1000, version in 0u16..10,
+                         body in prop::collection::vec(any::<u8>(), 0..128)) {
+        let mut e = Encoder::new();
+        e.record(tag, version, |e| e.raw(&body));
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        let (t, v, inner) = d.any_record().unwrap();
+        prop_assert_eq!((t, v), (tag, version));
+        prop_assert_eq!(inner.remaining(), body.len());
+    }
+}

@@ -1,0 +1,128 @@
+//! The block device interface.
+
+use aurora_sim::Clock;
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors returned by block devices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeviceError {
+    /// An access touched blocks past the end of the device.
+    OutOfRange {
+        /// First block of the access.
+        lba: u64,
+        /// Blocks in the access.
+        nblocks: u64,
+        /// Device capacity in blocks.
+        capacity: u64,
+    },
+    /// A buffer length was not a multiple of the block size.
+    Misaligned {
+        /// Length supplied.
+        len: usize,
+        /// Device block size.
+        block_size: usize,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::OutOfRange { lba, nblocks, capacity } => {
+                write!(f, "access [{lba}, {}) beyond capacity {capacity}", lba + nblocks)
+            }
+            DeviceError::Misaligned { len, block_size } => {
+                write!(f, "buffer length {len} not a multiple of block size {block_size}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// Result alias for device operations.
+pub type Result<T> = std::result::Result<T, DeviceError>;
+
+/// The completion handle of an asynchronous write.
+///
+/// The write's data is visible to subsequent reads immediately (the device
+/// buffers it), but it only becomes *durable* at `done_at`; a crash before
+/// then loses it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Completion {
+    /// Virtual time at which the write is durable.
+    pub done_at: u64,
+}
+
+impl Completion {
+    /// A completion that is already durable.
+    pub fn immediate(now: u64) -> Self {
+        Self { done_at: now }
+    }
+
+    /// Merges two completions: durable when both are.
+    pub fn join(self, other: Completion) -> Completion {
+        Completion { done_at: self.done_at.max(other.done_at) }
+    }
+}
+
+/// A simulated block device sharing a virtual [`Clock`].
+pub trait BlockDevice {
+    /// Block size in bytes (4096 throughout the reproduction).
+    fn block_size(&self) -> usize;
+
+    /// Capacity in blocks.
+    fn capacity_blocks(&self) -> u64;
+
+    /// The device's clock.
+    fn clock(&self) -> &Clock;
+
+    /// Synchronously reads `nblocks` starting at `lba`, advancing the
+    /// clock by the device's read latency + transfer time.
+    fn read(&mut self, lba: u64, nblocks: u64) -> Result<Vec<u8>>;
+
+    /// Reads without advancing the clock: the command is issued at
+    /// `issue_at` and the returned completion says when the data is
+    /// available. Lets a striping layer issue member reads in parallel
+    /// and wait for the slowest.
+    fn read_from(&mut self, lba: u64, nblocks: u64, issue_at: u64) -> Result<(Vec<u8>, u64)>;
+
+    /// Queues a write of `data` (must be block-aligned) at `lba`. Returns
+    /// when the data will be durable. Does not advance the clock: the
+    /// caller keeps executing while the device works (continuous
+    /// checkpointing, §6).
+    fn write(&mut self, lba: u64, data: &[u8]) -> Result<Completion>;
+
+    /// Like [`write`](BlockDevice::write), but the write is ordered after
+    /// `after`: it cannot become durable before that completion. This is
+    /// the barrier primitive commit records use — a checkpoint's commit
+    /// record must never outrun its data blocks.
+    fn write_after(&mut self, lba: u64, data: &[u8], after: Completion) -> Result<Completion>;
+
+    /// Waits for all queued writes to become durable, advancing the clock
+    /// to the last completion.
+    fn flush(&mut self) -> Completion;
+
+    /// Simulates power loss: every write not yet durable at the current
+    /// virtual time is discarded.
+    fn crash(&mut self);
+
+    /// Total bytes written since creation (for bandwidth accounting).
+    fn bytes_written(&self) -> u64;
+
+    /// Striping geometry: `(member devices, stripe unit in blocks)`.
+    /// `(1, 1)` for plain devices. Consumers that need strict write
+    /// ordering (journals) use this to place data within one member.
+    fn geometry(&self) -> (u64, u64) {
+        (1, 1)
+    }
+}
+
+/// A shareable, lockable device handle.
+pub type SharedDevice = Arc<Mutex<dyn BlockDevice + Send>>;
+
+/// Wraps a device in a [`SharedDevice`].
+pub fn share(dev: impl BlockDevice + Send + 'static) -> SharedDevice {
+    Arc::new(Mutex::new(dev))
+}

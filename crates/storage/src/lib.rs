@@ -1,0 +1,49 @@
+//! Simulated storage for the Aurora reproduction.
+//!
+//! The paper's testbed stores checkpoints on four Intel Optane 900P PCIe
+//! NVMe devices striped at 64 KiB. This crate models that storage:
+//!
+//! * [`device::BlockDevice`] — the device interface. Reads are
+//!   synchronous (they advance the shared virtual clock); writes are
+//!   asynchronous (they return a completion time) because Aurora flushes
+//!   checkpoints concurrently with application execution (§6).
+//! * [`nvme::NvmeDevice`] — an in-memory device with an Optane-like
+//!   latency/bandwidth model and honest crash semantics: a crash drops
+//!   every write that had not yet completed.
+//! * [`raid::Raid0`] — stripes several devices, the testbed's layout.
+
+pub mod device;
+pub mod nvme;
+pub mod raid;
+
+pub use device::{share, BlockDevice, Completion, DeviceError, SharedDevice};
+pub use nvme::{NvmeDevice, NvmeParams};
+pub use raid::Raid0;
+
+use aurora_sim::Clock;
+
+/// Builds the paper's testbed array: four Optane-like devices striped at
+/// 64 KiB, sharing `clock`.
+pub fn testbed_array(clock: &Clock, per_device_bytes: u64) -> SharedDevice {
+    let devices: Vec<Box<dyn BlockDevice + Send>> = (0..4)
+        .map(|_| {
+            Box::new(NvmeDevice::new(clock.clone(), NvmeParams::optane_900p(), per_device_bytes))
+                as Box<dyn BlockDevice + Send>
+        })
+        .collect();
+    share(Raid0::new(devices, 64 * 1024))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_array_has_expected_geometry() {
+        let clock = Clock::new();
+        let dev = testbed_array(&clock, 1 << 30);
+        let dev = dev.lock();
+        assert_eq!(dev.block_size(), 4096);
+        assert_eq!(dev.capacity_blocks(), 4 * ((1u64 << 30) / 4096));
+    }
+}

@@ -1,0 +1,78 @@
+//! Monotonic operation counters.
+//!
+//! The VM is clock-free; callers snapshot [`VmStats`], run an operation,
+//! and convert the delta into virtual time with the cost model (e.g.
+//! `pte_downgrades × pte_cow_ns` is Table 5's linear term).
+
+use std::ops::Sub;
+
+/// Counters for every costed VM operation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VmStats {
+    /// Slow-path page faults (PTE miss or write to read-only).
+    pub faults: u64,
+    /// COW breaks: pages copied from an ancestor into the top object.
+    pub cow_breaks: u64,
+    /// Zero-fill page allocations.
+    pub zero_fills: u64,
+    /// PTEs installed.
+    pub pte_installs: u64,
+    /// PTEs write-protected (COW marking during shadowing).
+    pub pte_downgrades: u64,
+    /// PTEs invalidated (frame freed or mapping removed).
+    pub pte_invalidations: u64,
+    /// TLB shootdowns issued (per-space invalidations).
+    pub tlb_shootdowns: u64,
+    /// Frames allocated.
+    pub frames_allocated: u64,
+    /// Frames freed.
+    pub frames_freed: u64,
+    /// Pages evicted to the store by the pageout daemon.
+    pub pages_evicted: u64,
+    /// Shadow objects created (fork + system shadowing).
+    pub shadows_created: u64,
+    /// System-shadow operations (one per checkpoint).
+    pub system_shadows: u64,
+    /// Collapse operations completed.
+    pub collapses: u64,
+    /// Pages moved between objects by collapse operations.
+    pub collapse_pages_moved: u64,
+}
+
+impl Sub for VmStats {
+    type Output = VmStats;
+
+    fn sub(self, rhs: VmStats) -> VmStats {
+        VmStats {
+            faults: self.faults - rhs.faults,
+            cow_breaks: self.cow_breaks - rhs.cow_breaks,
+            zero_fills: self.zero_fills - rhs.zero_fills,
+            pte_installs: self.pte_installs - rhs.pte_installs,
+            pte_downgrades: self.pte_downgrades - rhs.pte_downgrades,
+            pte_invalidations: self.pte_invalidations - rhs.pte_invalidations,
+            tlb_shootdowns: self.tlb_shootdowns - rhs.tlb_shootdowns,
+            frames_allocated: self.frames_allocated - rhs.frames_allocated,
+            frames_freed: self.frames_freed - rhs.frames_freed,
+            pages_evicted: self.pages_evicted - rhs.pages_evicted,
+            shadows_created: self.shadows_created - rhs.shadows_created,
+            system_shadows: self.system_shadows - rhs.system_shadows,
+            collapses: self.collapses - rhs.collapses,
+            collapse_pages_moved: self.collapse_pages_moved - rhs.collapse_pages_moved,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_subtracts_fieldwise() {
+        let a = VmStats { faults: 10, cow_breaks: 3, ..Default::default() };
+        let b = VmStats { faults: 4, cow_breaks: 1, ..Default::default() };
+        let d = a - b;
+        assert_eq!(d.faults, 6);
+        assert_eq!(d.cow_breaks, 2);
+        assert_eq!(d.pte_installs, 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! FileBench personalities over the [`aurora_fs::SimFs`] interface
+//! (Figure 3 of the paper).
+
+use aurora_fs::{Result, SimFs};
+use aurora_sim::units::{GIB, KIB, SEC};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of one personality run.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// FS label.
+    pub fs: String,
+    /// Operations completed.
+    pub ops: u64,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Elapsed virtual time, ns.
+    pub elapsed_ns: u64,
+}
+
+impl BenchResult {
+    /// Throughput in GiB/s.
+    pub fn gib_per_sec(&self) -> f64 {
+        (self.bytes as f64 / GIB as f64) / (self.elapsed_ns as f64 / SEC as f64)
+    }
+
+    /// Operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / (self.elapsed_ns as f64 / SEC as f64)
+    }
+}
+
+fn finish(fs: &mut dyn SimFs, t0: u64, ops: u64, bytes: u64) -> Result<BenchResult> {
+    fs.finish()?;
+    Ok(BenchResult { fs: fs.label(), ops, bytes, elapsed_ns: fs.clock().now() - t0 })
+}
+
+/// Figure 3(a)/(b): streaming writes of `block` bytes, random or
+/// sequential within a large file, `total` bytes in all.
+pub fn write_bench(
+    fs: &mut dyn SimFs,
+    block: u64,
+    total: u64,
+    random: bool,
+    seed: u64,
+) -> Result<BenchResult> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    fs.create(1)?;
+    let t0 = fs.clock().now();
+    let blocks = total / block;
+    let mut ops = 0;
+    for i in 0..blocks {
+        let off = if random { rng.gen_range(0..blocks) * block } else { i * block };
+        fs.write(1, off, block)?;
+        ops += 1;
+    }
+    finish(fs, t0, ops, blocks * block)
+}
+
+/// Figure 3(c): file creation rate.
+pub fn createfiles(fs: &mut dyn SimFs, n: u64) -> Result<BenchResult> {
+    let t0 = fs.clock().now();
+    for i in 0..n {
+        fs.create(1000 + i)?;
+    }
+    finish(fs, t0, n, 0)
+}
+
+/// Figure 3(c): write-then-fsync rate at a given block size.
+pub fn fsync_bench(fs: &mut dyn SimFs, block: u64, n: u64) -> Result<BenchResult> {
+    fs.create(1)?;
+    let t0 = fs.clock().now();
+    for i in 0..n {
+        fs.write(1, i * block, block)?;
+        fs.fsync(1)?;
+    }
+    finish(fs, t0, n * 2, n * block)
+}
+
+/// Figure 3(d): the fileserver personality — create/append/read/delete
+/// over a working set of whole files.
+pub fn fileserver(fs: &mut dyn SimFs, files: u64, iterations: u64, seed: u64) -> Result<BenchResult> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..files {
+        fs.create(i)?;
+        fs.write(i, 0, 128 * KIB)?;
+    }
+    let t0 = fs.clock().now();
+    let mut ops = 0;
+    let mut bytes = 0;
+    for it in 0..iterations {
+        let f = rng.gen_range(0..files);
+        // create-write-close / open-append-close / open-read-close /
+        // delete-create cycle, as in the FileBench fileserver mix.
+        fs.write(f, 0, 128 * KIB)?;
+        fs.write(f, 128 * KIB, 16 * KIB)?; // append
+        fs.read(f, 0, 128 * KIB)?;
+        if it % 8 == 0 {
+            fs.delete(f)?;
+            fs.create(f)?;
+            ops += 2;
+        }
+        ops += 3;
+        bytes += (128 + 16 + 128) * KIB;
+    }
+    finish(fs, t0, ops, bytes)
+}
+
+/// Figure 3(d): the varmail personality — small writes with fsync after
+/// each (mail spool), the workload where checkpoint consistency wins.
+pub fn varmail(fs: &mut dyn SimFs, files: u64, iterations: u64, seed: u64) -> Result<BenchResult> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..files {
+        fs.create(i)?;
+    }
+    let t0 = fs.clock().now();
+    let mut ops = 0;
+    let mut bytes = 0;
+    for _ in 0..iterations {
+        let f = rng.gen_range(0..files);
+        // read mail, append message, fsync, reread.
+        fs.read(f, 0, 16 * KIB)?;
+        fs.write(f, 0, 16 * KIB)?;
+        fs.fsync(f)?;
+        fs.read(f, 0, 16 * KIB)?;
+        ops += 4;
+        bytes += 48 * KIB;
+    }
+    finish(fs, t0, ops, bytes)
+}
+
+/// Figure 3(d): the webserver personality — read-heavy with a log append.
+pub fn webserver(fs: &mut dyn SimFs, files: u64, iterations: u64, seed: u64) -> Result<BenchResult> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..files {
+        fs.create(i)?;
+        fs.write(i, 0, 64 * KIB)?;
+    }
+    fs.create(u64::MAX)?; // the access log
+    let t0 = fs.clock().now();
+    let mut ops = 0;
+    let mut bytes = 0;
+    let mut log_off = 0;
+    for _ in 0..iterations {
+        // Ten file reads then a log append (FileBench's webserver shape).
+        for _ in 0..10 {
+            let f = rng.gen_range(0..files);
+            fs.read(f, 0, 64 * KIB)?;
+            ops += 1;
+            bytes += 64 * KIB;
+        }
+        fs.write(u64::MAX, log_off, 16 * KIB)?;
+        log_off += 16 * KIB;
+        ops += 1;
+        bytes += 16 * KIB;
+    }
+    finish(fs, t0, ops, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aurora_fs::ffs_model::FfsModel;
+    use aurora_fs::zfs_model::ZfsModel;
+
+    #[test]
+    fn write_bench_reports_sane_throughput() {
+        let mut fs = FfsModel::testbed(1 << 30);
+        let r = write_bench(&mut fs, 64 * KIB, 64 * (1 << 20), false, 1).unwrap();
+        assert!(r.gib_per_sec() > 0.2, "{}", r.gib_per_sec());
+        assert_eq!(r.bytes, 64 * (1 << 20));
+    }
+
+    #[test]
+    fn varmail_fsyncs_dominate_on_zfs() {
+        let mut zfs = ZfsModel::testbed(1 << 30, true);
+        let r = varmail(&mut zfs, 50, 200, 3).unwrap();
+        // Each iteration pays a synchronous ZIL write ≥ 10 µs.
+        assert!(r.elapsed_ns > 200 * 10_000, "{}", r.elapsed_ns);
+    }
+
+    #[test]
+    fn personalities_run_on_all_models() {
+        let mut fs = FfsModel::testbed(1 << 30);
+        fileserver(&mut fs, 20, 50, 1).unwrap();
+        let mut fs = ZfsModel::testbed(1 << 30, false);
+        webserver(&mut fs, 20, 20, 1).unwrap();
+        let mut fs = FfsModel::testbed(1 << 30);
+        createfiles(&mut fs, 100).unwrap();
+        let mut fs = ZfsModel::testbed(1 << 30, true);
+        fsync_bench(&mut fs, 4 * KIB, 50).unwrap();
+    }
+}

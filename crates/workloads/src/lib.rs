@@ -1,0 +1,12 @@
+//! Workload generators for the evaluation:
+//!
+//! * [`mutilate`] — the Mutilate load generator's Facebook "ETC" profile
+//!   used against Memcached (Figures 4–5).
+//! * [`prefixdist`] — the RocksDB `Prefix_dist` Facebook workload (Cao et
+//!   al., FAST'20) used in Figure 6.
+//! * [`filebench`] — FileBench personalities (random/sequential writes,
+//!   createfiles, fsync, fileserver, varmail, webserver) used in Figure 3.
+
+pub mod filebench;
+pub mod mutilate;
+pub mod prefixdist;

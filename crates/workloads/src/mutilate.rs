@@ -1,0 +1,113 @@
+//! The Mutilate load generator (Facebook ETC profile).
+//!
+//! The paper's setup: four load machines plus one latency-measurement
+//! machine, each with 12 threads × 12 connections (§9.5).
+
+use aurora_sim::dist::FacebookEtc;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One Memcached operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum McOp {
+    /// GET of a key.
+    Get {
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+    /// SET of a key to a value of `value_len` bytes.
+    Set {
+        /// Key bytes.
+        key: Vec<u8>,
+        /// Value size.
+        value_len: usize,
+    },
+}
+
+/// Mutilate configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MutilateConfig {
+    /// Load-generating machines.
+    pub machines: usize,
+    /// Threads per machine.
+    pub threads: usize,
+    /// Connections per thread.
+    pub conns_per_thread: usize,
+    /// Number of distinct keys.
+    pub keyspace: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MutilateConfig {
+    fn default() -> Self {
+        // The paper's client setup: 4 machines × 12 threads × 12 conns.
+        Self { machines: 4, threads: 12, conns_per_thread: 12, keyspace: 100_000, seed: 42 }
+    }
+}
+
+impl MutilateConfig {
+    /// Total concurrent connections.
+    pub fn connections(&self) -> usize {
+        self.machines * self.threads * self.conns_per_thread
+    }
+}
+
+/// A deterministic ETC operation stream.
+pub struct Mutilate {
+    cfg: MutilateConfig,
+    etc: FacebookEtc,
+    rng: StdRng,
+}
+
+impl Mutilate {
+    /// Creates a generator.
+    pub fn new(cfg: MutilateConfig) -> Self {
+        Self { cfg, etc: FacebookEtc::default(), rng: StdRng::seed_from_u64(cfg.seed) }
+    }
+
+    fn key(&mut self) -> Vec<u8> {
+        use rand::Rng;
+        let id: u64 = self.rng.gen_range(0..self.cfg.keyspace);
+        let len = self.etc.key_bytes(&mut self.rng);
+        let mut key = format!("key-{id:016x}").into_bytes();
+        key.resize(len.max(20), b'k');
+        key
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> McOp {
+        if self.etc.is_set(&mut self.rng) {
+            let value_len = self.etc.value_bytes(&mut self.rng);
+            McOp::Set { key: self.key(), value_len }
+        } else {
+            McOp::Get { key: self.key() }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_has_576_connections() {
+        assert_eq!(MutilateConfig::default().connections(), 576);
+    }
+
+    #[test]
+    fn op_mix_is_mostly_gets() {
+        let mut m = Mutilate::new(MutilateConfig::default());
+        let sets = (0..10_000).filter(|_| matches!(m.next_op(), McOp::Set { .. })).count();
+        assert!((150..800).contains(&sets), "sets {sets} out of 10k");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Mutilate::new(MutilateConfig::default());
+        let mut b = Mutilate::new(MutilateConfig::default());
+        for _ in 0..100 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+}

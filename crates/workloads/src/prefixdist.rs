@@ -1,0 +1,141 @@
+//! The RocksDB `Prefix_dist` Facebook workload (Cao et al., FAST'20):
+//! keys are grouped into prefixes whose popularity follows a power law,
+//! with a get-heavy mix and range scans.
+
+use aurora_sim::dist::{GeneralizedPareto, Zipf};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One RocksDB operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KvOp {
+    /// Point lookup.
+    Get {
+        /// Key.
+        key: Vec<u8>,
+    },
+    /// Insert/overwrite.
+    Put {
+        /// Key.
+        key: Vec<u8>,
+        /// Value size in bytes.
+        value_len: usize,
+    },
+    /// Short range scan.
+    Seek {
+        /// Start key.
+        key: Vec<u8>,
+        /// Entries scanned.
+        entries: usize,
+    },
+}
+
+/// Prefix_dist configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PrefixDistConfig {
+    /// Number of key prefixes (hot ranges).
+    pub prefixes: u64,
+    /// Keys per prefix.
+    pub keys_per_prefix: u64,
+    /// Fraction of GETs.
+    pub get_fraction: f64,
+    /// Fraction of PUTs.
+    pub put_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PrefixDistConfig {
+    fn default() -> Self {
+        // FAST'20's ZippyDB service mix: GET-dominant with ~3:1 get:put
+        // and a few percent of seeks.
+        Self {
+            prefixes: 1_000,
+            keys_per_prefix: 100,
+            get_fraction: 0.78,
+            put_fraction: 0.19,
+            seed: 7,
+        }
+    }
+}
+
+/// The operation stream.
+pub struct PrefixDist {
+    cfg: PrefixDistConfig,
+    prefix_zipf: Zipf,
+    value_size: GeneralizedPareto,
+    rng: StdRng,
+}
+
+impl PrefixDist {
+    /// Creates a generator.
+    pub fn new(cfg: PrefixDistConfig) -> Self {
+        Self {
+            cfg,
+            prefix_zipf: Zipf::new(cfg.prefixes, 0.99),
+            // FAST'20 value sizes: mean ~400 B with a heavy tail.
+            value_size: GeneralizedPareto::new(35.0, 250.0, 0.3),
+            rng: StdRng::seed_from_u64(cfg.seed),
+        }
+    }
+
+    fn key(&mut self) -> Vec<u8> {
+        let prefix = self.prefix_zipf.sample(&mut self.rng);
+        let within: u64 = self.rng.gen_range(0..self.cfg.keys_per_prefix);
+        format!("{prefix:08x}:{within:08x}").into_bytes()
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> KvOp {
+        let r: f64 = self.rng.gen();
+        let key = self.key();
+        if r < self.cfg.get_fraction {
+            KvOp::Get { key }
+        } else if r < self.cfg.get_fraction + self.cfg.put_fraction {
+            let value_len = (self.value_size.sample(&mut self.rng) as usize).clamp(16, 64 * 1024);
+            KvOp::Put { key, value_len }
+        } else {
+            KvOp::Seek { key, entries: self.rng.gen_range(4..64) }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_matches_configuration() {
+        let mut g = PrefixDist::new(PrefixDistConfig::default());
+        let mut gets = 0;
+        let mut puts = 0;
+        let mut seeks = 0;
+        for _ in 0..20_000 {
+            match g.next_op() {
+                KvOp::Get { .. } => gets += 1,
+                KvOp::Put { .. } => puts += 1,
+                KvOp::Seek { .. } => seeks += 1,
+            }
+        }
+        assert!((14_000..17_500).contains(&gets), "gets {gets}");
+        assert!((2_800..5_000).contains(&puts), "puts {puts}");
+        assert!((200..1_200).contains(&seeks), "seeks {seeks}");
+    }
+
+    #[test]
+    fn hot_prefixes_dominate() {
+        let mut g = PrefixDist::new(PrefixDistConfig::default());
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            if let KvOp::Get { key } = g.next_op() {
+                let prefix = key[..8].to_vec();
+                *counts.entry(prefix).or_insert(0u64) += 1;
+            }
+        }
+        let mut v: Vec<u64> = counts.values().copied().collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = v.iter().sum();
+        let top10: u64 = v.iter().take(10).sum();
+        assert!(top10 * 100 / total > 25, "top-10 prefixes carry {}% of load", top10 * 100 / total);
+    }
+}

@@ -1,0 +1,61 @@
+//! Time-travel debugging (§1, §7): Aurora retains the application's
+//! execution history as a series of incremental checkpoints; any moment
+//! can be rewound to, inspected, or exported as a core dump.
+//!
+//! ```text
+//! cargo run --example time_travel
+//! ```
+
+use aurora::prelude::*;
+use aurora_core::RestoreMode;
+
+fn main() {
+    let mut world = World::quickstart();
+    let pid = world.spawn_counter_app();
+    let gid = world.sls.attach(pid, SlsOptions::default()).unwrap();
+
+    // Run the "buggy" program: it doubles the counter each step and the
+    // bug corrupts it at step 5. Aurora checkpoints every step.
+    let mut epochs = Vec::new();
+    world.bump_counter(pid).unwrap(); // counter = 1
+    for step in 1..=6u64 {
+        let v = world.read_counter(pid).unwrap();
+        let next = if step == 5 { 9999 } else { v * 2 }; // the bug
+        let space = world.sls.kernel.proc(pid).unwrap().space;
+        let addr = world.sls.kernel.vm.entries(space).unwrap()[0].start;
+        world.sls.kernel.mem_write(pid, addr, &next.to_le_bytes()).unwrap();
+        let cp = world.sls.checkpoint_now(gid).unwrap();
+        epochs.push(cp.epoch);
+        println!("step {step}: counter = {next}  (checkpoint epoch {})", cp.epoch);
+    }
+
+    // Something is wrong. Binary-search the history for the first bad
+    // state — each probe is just a (lazy) restore of an old epoch.
+    println!("\nbisecting {} checkpoints for the corruption…", epochs.len());
+    let mut lo = 0usize;
+    let mut hi = epochs.len() - 1;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let r = world.sls.sls_restore(gid, Some(epochs[mid]), RestoreMode::Lazy).unwrap();
+        let v = world.read_counter(r.pids[0]).unwrap();
+        let ok = v != 9999;
+        println!("  epoch {}: counter = {v} → {}", epochs[mid], if ok { "good" } else { "BAD" });
+        if ok {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    println!("first bad state: epoch {} (step {})", epochs[lo], lo + 1);
+    assert_eq!(lo, 4, "the bug struck at step 5");
+
+    // Rewind to just before the bug and export a core for the debugger.
+    let r = world.sls.sls_restore(gid, Some(epochs[lo - 1]), RestoreMode::Full).unwrap();
+    let core = world.sls.coredump(r.pids[0]).unwrap();
+    println!(
+        "\nrewound to epoch {}: counter = {} — exported {} byte ELF core for inspection",
+        epochs[lo - 1],
+        world.read_counter(r.pids[0]).unwrap(),
+        core.len()
+    );
+}
