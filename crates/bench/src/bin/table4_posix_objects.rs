@@ -46,7 +46,7 @@ fn run(install: impl Fn(&mut World, aurora_posix::Pid)) -> (u64, u64) {
 fn main() {
     // A populated SysV namespace (the paper's system has other segments
     // to scan past — calibrated to ~100 entries).
-    let rows = vec![
+    let rows = [
         measure("Kqueue w/1024 ev", |w, pid| {
             let kq = w.sls.kernel.kqueue(pid).unwrap();
             for i in 0..1024 {

@@ -60,6 +60,11 @@ fn demo() {
         fmt_ns(cp.stop_time_ns),
         fmt_bytes(cp.bytes_flushed)
     );
+    println!("  pipeline stages (stop = first six):");
+    for (name, ns) in cp.stages() {
+        println!("    {name:<9} {}", fmt_ns(ns));
+    }
+    println!("    {:<9} {}", "total", fmt_ns(cp.stage_total_ns()));
 
     // Work + periodic checkpoints.
     println!("\n$ (app works; Aurora checkpoints every 10 ms)");

@@ -154,9 +154,16 @@ impl AuroraApi for Sls {
                 .filter(|&(_, d)| d)
                 .map(|(pi, _)| pi)
                 .collect();
-            for pi in dirty {
-                let data = *self.kernel.vm.page_bytes(pair.old_top, pi)?;
-                store.write_page(oid, pi, &data)?;
+            let mut batch: Vec<(u64, [u8; aurora_objstore::PAGE])> =
+                Vec::with_capacity(dirty.len());
+            for &pi in &dirty {
+                batch.push((pi, *self.kernel.vm.page_bytes(pair.old_top, pi)?));
+            }
+            if !batch.is_empty() {
+                // The region goes out as one charged bulk write.
+                store.write_pages(oid, &batch)?;
+            }
+            for &pi in &dirty {
                 self.kernel.vm.mark_clean(pair.old_top, pi)?;
                 pages_flushed += 1;
             }

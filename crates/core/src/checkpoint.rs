@@ -1,17 +1,18 @@
-//! The checkpoint pipeline (§4–6): quiesce → serialize → shadow → resume
-//! → flush → commit, with reversed collapse of retired shadows.
+//! Checkpoint entry point and the shared reachability scan (§4–6). The
+//! actual work happens in [`crate::pipeline::CheckpointPipeline`]; every
+//! per-object-kind operation dispatches through the
+//! [`crate::registry::SerializerRegistry`].
 
-use crate::oidmap::{KObj, OidMap};
-use crate::serial;
-use crate::{GroupId, SealedBatch, Sls, SlsError};
-use aurora_objstore::{ObjectStore, Oid};
+use crate::{GroupId, Sls, SlsError};
 use aurora_posix::file::FileKind;
 use aurora_posix::{Kernel, Pid, Tid};
-use aurora_sim::clock::Stopwatch;
-use aurora_vm::{ObjId, ObjKind, SpaceId, PAGE_SIZE};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use aurora_vm::{ObjId, ObjKind};
+use std::collections::{BTreeSet, VecDeque};
 
-/// What one checkpoint did and cost.
+/// What one checkpoint did and cost, with the per-stage breakdown of
+/// the pipeline. The first six stage timings sum exactly to
+/// [`stop_time_ns`](CheckpointStats::stop_time_ns); all nine sum to
+/// [`stage_total_ns`](CheckpointStats::stage_total_ns).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CheckpointStats {
     /// Store epoch of this checkpoint.
@@ -20,12 +21,27 @@ pub struct CheckpointStats {
     pub full: bool,
     /// Total application stop time (quiesce → resume), ns.
     pub stop_time_ns: u64,
-    /// Portion spent quiescing, ns.
+    /// Stage 1 — quiescing every member, ns.
     pub quiesce_ns: u64,
-    /// Portion spent serializing OS state, ns.
+    /// Stage 2 — collapsing the shadows retired by the previous
+    /// checkpoint, ns.
+    pub collapse_ns: u64,
+    /// Stage 3 — draining in-flight asynchronous writes, ns.
+    pub aio_ns: u64,
+    /// Stage 4 — serializing OS state (scan + OID assignment + encode),
+    /// ns.
     pub os_state_ns: u64,
-    /// Portion spent shadowing memory (PTE COW marking + TLB), ns.
+    /// Stage 5 — shadowing memory (PTE COW marking + TLB), ns.
     pub shadow_ns: u64,
+    /// Stage 6 — resuming the application, ns.
+    pub resume_ns: u64,
+    /// Stage 7 — flushing records and pages, concurrent with execution,
+    /// ns.
+    pub flush_ns: u64,
+    /// Stage 8 — sealing outbound messages (external synchrony), ns.
+    pub seal_ns: u64,
+    /// Stage 9 — committing the store epoch, ns.
+    pub commit_ns: u64,
     /// POSIX objects serialized.
     pub objects: u64,
     /// Pages flushed to the store.
@@ -36,27 +52,62 @@ pub struct CheckpointStats {
     pub durable_at: u64,
 }
 
+impl CheckpointStats {
+    /// The nine pipeline stages with their timings, pipeline order.
+    pub fn stages(&self) -> [(&'static str, u64); 9] {
+        [
+            ("quiesce", self.quiesce_ns),
+            ("collapse", self.collapse_ns),
+            ("aio-drain", self.aio_ns),
+            ("serialize", self.os_state_ns),
+            ("shadow", self.shadow_ns),
+            ("resume", self.resume_ns),
+            ("flush", self.flush_ns),
+            ("seal", self.seal_ns),
+            ("commit", self.commit_ns),
+        ]
+    }
+
+    /// Total time across all nine stages
+    /// (= `stop_time_ns + flush_ns + seal_ns + commit_ns`).
+    pub fn stage_total_ns(&self) -> u64 {
+        self.stages().iter().map(|(_, ns)| ns).sum()
+    }
+}
+
 /// Everything reachable from a consistency group — the input to the
-/// exactly-once serialization scan (§5.2).
+/// exactly-once serialization scan (§5.2). Shared by the checkpoint
+/// pipeline, the coredump exporter, and the CRIU baseline.
 #[derive(Debug, Default)]
-pub(crate) struct Reach {
+pub struct Reach {
+    /// Member processes.
     pub procs: Vec<Pid>,
+    /// Their threads.
     pub threads: Vec<Tid>,
+    /// Reachable open-file descriptions (including in-flight ones).
     pub files: Vec<u64>,
+    /// Reachable vnodes plus the whole file-system namespace.
     pub vnodes: BTreeSet<u64>,
+    /// Reachable pipes.
     pub pipes: BTreeSet<u64>,
+    /// Reachable sockets.
     pub sockets: BTreeSet<u64>,
+    /// Reachable kqueues.
     pub kqueues: BTreeSet<u64>,
+    /// Reachable pseudoterminals.
     pub ptys: BTreeSet<u64>,
+    /// Reachable POSIX shm objects.
     pub shm_posix: BTreeSet<u64>,
+    /// Reachable SysV shm segments.
     pub shm_sysv: BTreeSet<u64>,
-    /// Every VM object in every reachable chain, deduplicated.
+    /// Every VM object in every reachable chain, deduplicated,
+    /// top-down.
     pub mem_objs: Vec<ObjId>,
 }
 
 impl Reach {
     /// Walks the object graph from the group's persistent processes.
-    pub(crate) fn collect(k: &Kernel, pids: &[Pid]) -> Result<Reach, SlsError> {
+    pub fn collect(k: &Kernel, pids: &[Pid]) -> Result<Reach, SlsError> {
         let mut r = Reach { procs: pids.to_vec(), ..Reach::default() };
         let mut seen_files: BTreeSet<u64> = BTreeSet::new();
         let mut file_queue: VecDeque<u64> = VecDeque::new();
@@ -155,54 +206,6 @@ impl Reach {
         }
         Ok(r)
     }
-
-    fn assign_oids(
-        &self,
-        k: &Kernel,
-        store: &mut ObjectStore,
-        oids: &mut OidMap,
-        lineage_oids: &mut HashMap<u64, crate::LineageBinding>,
-    ) -> Result<(), SlsError> {
-        for &pid in &self.procs {
-            oids.get_or_create(store, KObj::Proc(pid.0))?;
-        }
-        for &tid in &self.threads {
-            oids.get_or_create(store, KObj::Thread(tid.0))?;
-        }
-        for &f in &self.files {
-            oids.get_or_create(store, KObj::File(f))?;
-        }
-        for &v in &self.vnodes {
-            oids.get_or_create(store, KObj::Vnode(v))?;
-        }
-        for &p in &self.pipes {
-            oids.get_or_create(store, KObj::Pipe(p))?;
-        }
-        for &s in &self.sockets {
-            oids.get_or_create(store, KObj::Socket(s))?;
-        }
-        for &q in &self.kqueues {
-            oids.get_or_create(store, KObj::Kqueue(q))?;
-        }
-        for &p in &self.ptys {
-            oids.get_or_create(store, KObj::Pty(p))?;
-        }
-        for &s in &self.shm_posix {
-            oids.get_or_create(store, KObj::ShmPosix(s))?;
-        }
-        for &s in &self.shm_sysv {
-            oids.get_or_create(store, KObj::ShmSysv(s))?;
-        }
-        for &obj in &self.mem_objs {
-            let lineage = k.vm.object(obj)?.lineage.0;
-            let oid = oids.get_or_create(store, KObj::Mem(lineage))?;
-            // Keep an existing (possibly pinned) binding: a restored
-            // branch stays pinned; only brand-new lineages get the
-            // all-visible live binding.
-            lineage_oids.entry(lineage).or_insert_with(|| crate::LineageBinding::live(oid));
-        }
-        Ok(())
-    }
 }
 
 impl Sls {
@@ -210,274 +213,6 @@ impl Sls {
     /// periodic driver). The first checkpoint is full; later ones are
     /// incremental.
     pub fn checkpoint_now(&mut self, gid: GroupId) -> Result<CheckpointStats, SlsError> {
-        let pids = self.group_pids(gid)?;
-        let persist: Vec<Pid> = pids
-            .iter()
-            .copied()
-            .filter(|&p| self.kernel.proc(p).map(|pr| !pr.ephemeral).unwrap_or(false))
-            .collect();
-        if persist.is_empty() {
-            return Err(SlsError::NoSuchGroup(gid));
-        }
-
-        // Backpressure: Aurora waits for a checkpoint to fully persist
-        // before initiating another one (§7).
-        let (collapse_mode, pending) = {
-            let g = self.groups.get(&gid).ok_or(SlsError::NoSuchGroup(gid))?;
-            (g.opts.collapse_mode, g.pending_durable)
-        };
-        self.kernel.charge.clock().advance_to(pending);
-
-        let full = self.groups[&gid].epochs.is_empty();
-        let clock = self.kernel.charge.clock().clone();
-        let sw = Stopwatch::start(&clock);
-
-        // 1. Quiesce every member (ephemeral included) at the kernel
-        //    boundary.
-        self.kernel.quiesce(&pids)?;
-        self.kernel.charge.raw(self.kernel.charge.model().checkpoint_barrier_ns);
-        let quiesce_ns = sw.elapsed_ns();
-
-        // 2. Collapse the shadows retired by the previous checkpoint —
-        //    their flush is durable thanks to the backpressure wait.
-        let spaces: Vec<SpaceId> = persist
-            .iter()
-            .map(|&p| self.kernel.proc(p).map(|pr| pr.space))
-            .collect::<Result<_, _>>()?;
-        if !full {
-            let mut tops = BTreeSet::new();
-            for &space in &spaces {
-                for e in self.kernel.vm.entries(space)? {
-                    tops.insert(e.object);
-                }
-            }
-            for top in tops {
-                // Refusals (short chains, fork shadows in the middle) are
-                // expected; corruption is not.
-                let _ = self.kernel.vm.collapse_under(top, collapse_mode);
-            }
-        }
-
-        // 2b. Quiesce asynchronous IO (§5.3): in-flight writes must be
-        //     incorporated before the checkpoint counts as complete —
-        //     wait them out now; reads stay pending and are recorded for
-        //     reissue at restore.
-        {
-            let member: std::collections::HashSet<u32> =
-                persist.iter().map(|p| p.0).collect();
-            let pending_writes: Vec<u64> = self
-                .kernel
-                .aio
-                .in_flight()
-                .filter(|op| {
-                    member.contains(&op.pid)
-                        && op.kind == aurora_posix::aio::AioKind::Write
-                })
-                .map(|op| op.id)
-                .collect();
-            for id in pending_writes {
-                // Device-side completion wait, then fold into the image.
-                self.kernel.charge.raw(12_000);
-                self.kernel.aio.complete(id, false);
-            }
-        }
-
-        // 3. Walk the object graph and assign OIDs (exactly-once scan).
-        let reach = Reach::collect(&self.kernel, &persist)?;
-        {
-            let g = self.groups.get_mut(&gid).expect("checked above");
-            let mut store = self.store.lock();
-            let mut lineages = self.lineage_oids.lock();
-            reach.assign_oids(&self.kernel, &mut store, &mut g.oidmap, &mut lineages)?;
-        }
-
-        // 4. Serialize every POSIX object into memory buffers.
-        let t_serial = Stopwatch::start(&clock);
-        let mut buffers: Vec<(Oid, Vec<u8>)> = Vec::new();
-        {
-            let g = self.groups.get(&gid).expect("checked above");
-            let k = &self.kernel;
-            let o = &g.oidmap;
-            for &pid in &reach.procs {
-                buffers.push((o.get(KObj::Proc(pid.0)).expect("assigned"), serial::encode_proc(k, pid, o)?));
-            }
-            for &tid in &reach.threads {
-                buffers.push((o.get(KObj::Thread(tid.0)).expect("assigned"), serial::encode_thread(k, tid)?));
-            }
-            for &f in &reach.files {
-                buffers.push((o.get(KObj::File(f)).expect("assigned"), serial::encode_file(k, f, o)?));
-            }
-            for &v in &reach.vnodes {
-                buffers.push((o.get(KObj::Vnode(v)).expect("assigned"), serial::encode_vnode(k, v)?));
-            }
-            for &p in &reach.pipes {
-                buffers.push((o.get(KObj::Pipe(p)).expect("assigned"), serial::encode_pipe(k, p)?));
-            }
-            for &s in &reach.sockets {
-                buffers.push((o.get(KObj::Socket(s)).expect("assigned"), serial::encode_socket(k, s, o)?));
-            }
-            for &q in &reach.kqueues {
-                buffers.push((o.get(KObj::Kqueue(q)).expect("assigned"), serial::encode_kqueue(k, q)?));
-            }
-            for &p in &reach.ptys {
-                buffers.push((o.get(KObj::Pty(p)).expect("assigned"), serial::encode_pty(k, p)?));
-            }
-            for &s in &reach.shm_posix {
-                buffers.push((o.get(KObj::ShmPosix(s)).expect("assigned"), serial::encode_shm_posix(k, s, o)?));
-            }
-            for &s in &reach.shm_sysv {
-                buffers.push((o.get(KObj::ShmSysv(s)).expect("assigned"), serial::encode_shm_sysv(k, s, o)?));
-            }
-            for &m in &reach.mem_objs {
-                let lineage = k.vm.object(m)?.lineage.0;
-                buffers.push((o.get(KObj::Mem(lineage)).expect("assigned"), serial::encode_mem(k, m, o)?));
-            }
-        }
-        let os_state_ns = t_serial.elapsed_ns();
-
-        // 5. System shadowing: one shadow per writable object across the
-        //    whole group; COW-mark the frozen pages; TLB shootdown (§6).
-        let t_shadow = Stopwatch::start(&clock);
-        let stats_before = self.kernel.vm.stats;
-        let pairs = self.kernel.vm.system_shadow(&spaces)?;
-        for pair in &pairs {
-            self.kernel.shm_backmap(pair.old_top, pair.new_top);
-        }
-        let delta = self.kernel.vm.stats - stats_before;
-        let model = self.kernel.charge.model().clone();
-        self.kernel.charge.raw(delta.pte_downgrades * model.pte_cow_ns);
-        let threads: u64 = reach.threads.len() as u64;
-        self.kernel.charge.raw(model.shootdown_ns(threads));
-        let shadow_ns = t_shadow.elapsed_ns();
-
-        // 6. Resume the application — end of stop time.
-        self.kernel.resume(&pids)?;
-        let stop_time_ns = sw.elapsed_ns();
-
-        // 7. Flush concurrently with execution: object metadata, dirty
-        //    pages of the frozen objects, and changed vnode contents.
-        let mut pages_flushed = 0u64;
-        let mut bytes_flushed = 0u64;
-        {
-            let g = self.groups.get_mut(&gid).expect("checked above");
-            let mut store = self.store.lock();
-            for (oid, bytes) in &buffers {
-                store.set_meta(*oid, bytes)?;
-                bytes_flushed += bytes.len() as u64;
-            }
-            // Frozen memory pages: everything still marked dirty in the
-            // reachable (pre-shadow) objects. Chains are collected
-            // top-down; flush them BOTTOM-UP so that when two objects of
-            // one lineage hold the same page index (a fork shadow under a
-            // system shadow), the newer version lands last and wins in
-            // the store.
-            for &obj in reach.mem_objs.iter().rev() {
-                if matches!(self.kernel.vm.object(obj)?.kind, ObjKind::Device { .. }) {
-                    continue; // device pages are re-injected at restore (§5.3)
-                }
-                let lineage = self.kernel.vm.object(obj)?.lineage.0;
-                let oid = g.oidmap.get(KObj::Mem(lineage)).expect("assigned");
-                let dirty: Vec<u64> = self
-                    .kernel
-                    .vm
-                    .resident_page_indices(obj)?
-                    .into_iter()
-                    .filter(|&(_, d)| d)
-                    .map(|(pi, _)| pi)
-                    .collect();
-                for pi in dirty {
-                    let data = *self.kernel.vm.page_bytes(obj, pi)?;
-                    store.write_page(oid, pi, &data)?;
-                    self.kernel.vm.mark_clean(obj, pi)?;
-                    pages_flushed += 1;
-                    bytes_flushed += PAGE_SIZE as u64;
-                }
-            }
-            // Changed file contents.
-            for &v in &reach.vnodes {
-                let vn = self.kernel.vfs.vnode(aurora_posix::VnodeId(v))?;
-                if let aurora_posix::vfs::VnodeKind::Regular { data } = &vn.kind {
-                    let hash = fnv(data);
-                    if g.vnode_hash.get(&aurora_posix::VnodeId(v)) != Some(&hash) {
-                        let oid = g.oidmap.get(KObj::Vnode(v)).expect("assigned");
-                        let mut pi = 0u64;
-                        let mut off = 0usize;
-                        while off < data.len() {
-                            let mut page = [0u8; PAGE_SIZE];
-                            let n = (data.len() - off).min(PAGE_SIZE);
-                            page[..n].copy_from_slice(&data[off..off + n]);
-                            store.write_page(oid, pi, &page)?;
-                            pages_flushed += 1;
-                            bytes_flushed += n as u64;
-                            off += n;
-                            pi += 1;
-                        }
-                        g.vnode_hash.insert(aurora_posix::VnodeId(v), hash);
-                    }
-                }
-            }
-            // The manifest, every checkpoint (the tree may have changed).
-            let manifest = serial::ManifestRecord {
-                period_ns: g.opts.period_ns,
-                extsync: g.opts.external_synchrony,
-                procs: reach
-                    .procs
-                    .iter()
-                    .map(|&p| {
-                        let pr = self.kernel.proc(p).expect("member");
-                        (
-                            g.oidmap.get(KObj::Proc(p.0)).expect("assigned"),
-                            pr.local_pid.0,
-                            g.roots.contains(&p),
-                        )
-                    })
-                    .collect(),
-                fs_vnodes: reach
-                    .vnodes
-                    .iter()
-                    .map(|&v| g.oidmap.get(KObj::Vnode(v)).expect("assigned"))
-                    .collect(),
-            };
-            store.create_object(g.manifest, aurora_objstore::ObjectKind::Posix(crate::oidmap::tag::MANIFEST))?;
-            store.set_meta(g.manifest, &serial::encode_manifest(&manifest))?;
-        }
-
-        // 8. Seal outbound messages under this checkpoint (external
-        //    synchrony, §3) and commit.
-        let sealed_counts = self.seal_group_sockets(gid)?;
-        let info = {
-            let mut store = self.store.lock();
-            store.commit()?
-        };
-        let now = clock.now();
-        let g = self.groups.get_mut(&gid).expect("checked above");
-        g.epochs.push(info.epoch);
-        g.pending_durable = info.durable_at;
-        g.last_checkpoint_ns = now;
-        if g.opts.external_synchrony {
-            g.sealed.push_back(SealedBatch { durable_at: info.durable_at, counts: sealed_counts });
-        }
-
-        Ok(CheckpointStats {
-            epoch: info.epoch,
-            full,
-            stop_time_ns,
-            quiesce_ns,
-            os_state_ns,
-            shadow_ns,
-            objects: buffers.len() as u64,
-            pages_flushed,
-            bytes_flushed,
-            durable_at: info.durable_at,
-        })
+        crate::pipeline::CheckpointPipeline::new(self, gid)?.run()
     }
-}
-
-fn fnv(data: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in data {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
 }

@@ -1,6 +1,9 @@
 //! ELF coredump export (`sls dump`, Table 2): any checkpoint or running
 //! state can be extracted as an ELF64 core file for debugging.
 
+use crate::checkpoint::Reach;
+use crate::oidmap::OidMap;
+use crate::registry::KObjKind;
 use crate::{Sls, SlsError};
 use aurora_objstore::Oid;
 use aurora_posix::Pid;
@@ -12,6 +15,10 @@ const PHDR_SIZE: usize = 56;
 const PT_LOAD: u32 = 1;
 const PT_NOTE: u32 = 4;
 const NT_PRSTATUS: u32 = 1;
+/// Aurora extension note: the process record in the checkpoint image
+/// format, produced by the same serializer registry checkpoints use
+/// ("AURA").
+const NT_AURORA_PROC: u32 = 0x4155_5241;
 
 /// Reads `[addr, addr+len)` of a space without faulting: missing or
 /// swapped pages read as zeros (they are holes in the dump).
@@ -48,17 +55,59 @@ fn read_region_nofault(
 }
 
 impl Sls {
+    /// The OID map [`coredump`](Sls::coredump) encodes process records
+    /// against: an attached group's live map when one covers `pid`,
+    /// otherwise a temporary map fake-bound over the process's reachable
+    /// objects (the OIDs only name cross-references inside the note).
+    fn dump_oidmap(&self, pid: Pid) -> Result<OidMap, SlsError> {
+        let registry = self.registry.clone();
+        let mut oids = OidMap::default();
+        let reach = Reach::collect(&self.kernel, &[pid])?;
+        // Fake bindings live above bit 48 so they can never collide with
+        // a store-allocated OID carried over from a group's live map.
+        let mut next = 1u64 << 48;
+        for ser in registry.iter() {
+            for id in ser.collect(&self.kernel, &reach)? {
+                let key = ser.key_of(&self.kernel, id)?;
+                let bound = self
+                    .groups
+                    .values()
+                    .find_map(|g| g.oidmap.get(key))
+                    .unwrap_or_else(|| {
+                        next += 1;
+                        Oid(next - 1)
+                    });
+                if oids.get(key).is_none() {
+                    oids.bind(key, bound);
+                }
+            }
+        }
+        Ok(oids)
+    }
+
     /// Produces an ELF64 core image of a running process: one PT_NOTE
-    /// with an NT_PRSTATUS per thread, one PT_LOAD per map entry.
+    /// with an NT_PRSTATUS per thread plus an NT_AURORA_PROC carrying
+    /// the registry-encoded process record, one PT_LOAD per map entry.
     pub fn coredump(&self, pid: Pid) -> Result<Vec<u8>, SlsError> {
         let p = self.kernel.proc(pid)?;
         let entries: Vec<_> = self.kernel.vm.entries(p.space)?.to_vec();
+
+        let push_note = |notes: &mut Encoder, ntype: u32, desc: &[u8]| {
+            let name = b"CORE";
+            notes.u32(name.len() as u32 + 1);
+            notes.u32(desc.len() as u32);
+            notes.u32(ntype);
+            notes.raw(name);
+            notes.raw(&[0, 0, 0, 0][..(4 - name.len() % 4) % 4 + 1]); // NUL + pad
+            notes.raw(desc);
+            let pad = (4 - desc.len() % 4) % 4;
+            notes.raw(&vec![0u8; pad]);
+        };
 
         // NT_PRSTATUS notes.
         let mut notes = Encoder::new();
         for tid in &p.threads {
             let t = self.kernel.threads.get(tid).ok_or(SlsError::BadImage("thread"))?;
-            let name = b"CORE";
             let mut desc = Encoder::new();
             desc.u32(t.local_tid.0);
             desc.u64(t.regs.pc);
@@ -67,14 +116,15 @@ impl Sls {
                 desc.u64(r);
             }
             let desc = desc.finish_vec();
-            notes.u32(name.len() as u32 + 1);
-            notes.u32(desc.len() as u32);
-            notes.u32(NT_PRSTATUS);
-            notes.raw(name);
-            notes.raw(&[0, 0, 0, 0][..(4 - name.len() % 4) % 4 + 1]); // NUL + pad
-            notes.raw(&desc);
-            let pad = (4 - desc.len() % 4) % 4;
-            notes.raw(&vec![0u8; pad]);
+            push_note(&mut notes, NT_PRSTATUS, &desc);
+        }
+        // The checkpoint-format process record, via the same serializer
+        // the checkpoint pipeline dispatches through.
+        {
+            let oids = self.dump_oidmap(pid)?;
+            let rec =
+                self.registry.get(KObjKind::Proc)?.encode(&self.kernel, pid.0 as u64, &oids)?;
+            push_note(&mut notes, NT_AURORA_PROC, &rec);
         }
         let notes = notes.finish_vec();
 

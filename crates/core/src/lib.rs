@@ -30,15 +30,20 @@ pub mod dump;
 pub mod error;
 pub mod extsync;
 pub mod oidmap;
+pub mod pipeline;
+pub mod registry;
 pub mod restore;
 pub mod sendrecv;
 pub mod serial;
+pub mod serializers;
 pub mod swap;
 pub mod world;
 
 pub use api::AuroraApi;
-pub use checkpoint::CheckpointStats;
+pub use checkpoint::{CheckpointStats, Reach};
 pub use error::SlsError;
+pub use pipeline::CheckpointPipeline;
+pub use registry::{default_registry, KObjKind, Serializer, SerializerRegistry};
 pub use restore::RestoreMode;
 
 use aurora_objstore::{ObjectStore, Oid};
@@ -46,7 +51,7 @@ use aurora_posix::{Kernel, Pid, VnodeId};
 use aurora_sim::units::MS;
 use aurora_vm::CollapseMode;
 use oidmap::OidMap;
-use parking_lot::Mutex;
+use aurora_sim::sync::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -142,6 +147,9 @@ pub struct Sls {
     pub(crate) groups: HashMap<GroupId, Group>,
     /// lineage → binding map shared with the kernel's pager.
     pub(crate) lineage_oids: Arc<Mutex<HashMap<u64, LineageBinding>>>,
+    /// The per-object-kind serializer registry (§5.2) every checkpoint,
+    /// restore, and migration dispatches through.
+    pub(crate) registry: Arc<registry::SerializerRegistry>,
     next_group: u64,
 }
 
@@ -155,7 +163,19 @@ impl Sls {
             store: store.clone(),
             lineage_oids: lineage_oids.clone(),
         }));
-        Self { kernel, store, groups: HashMap::new(), lineage_oids, next_group: 1 }
+        Self {
+            kernel,
+            store,
+            groups: HashMap::new(),
+            lineage_oids,
+            registry: Arc::new(registry::default_registry()),
+            next_group: 1,
+        }
+    }
+
+    /// The serializer registry this instance dispatches through.
+    pub fn registry(&self) -> Arc<registry::SerializerRegistry> {
+        self.registry.clone()
     }
 
     /// Attaches a process tree to the SLS as a new consistency group

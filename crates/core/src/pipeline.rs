@@ -1,0 +1,339 @@
+//! The staged checkpoint pipeline (§4–6), made explicit: Quiesce →
+//! Collapse → AioDrain → Serialize → Shadow → Resume → Flush → Seal →
+//! Commit. Each stage produces a typed output consumed by later stages
+//! and is timed back-to-back on the virtual clock, so the per-stage
+//! breakdown in [`CheckpointStats`] is exact: the first six stages sum
+//! to the application stop time, and all nine sum to
+//! [`CheckpointStats::stage_total_ns`].
+//!
+//! The Serialize and Flush stages dispatch through the
+//! [`SerializerRegistry`] — the pipeline knows *when* to serialize, the
+//! registry knows *how* each object kind does.
+
+use crate::checkpoint::{CheckpointStats, Reach};
+use crate::registry::{AssignCtx, FlushCtx, KObjKind, SerializerRegistry};
+use crate::serial;
+use crate::{GroupId, SealedBatch, Sls, SlsError};
+use aurora_objstore::{CommitInfo, Oid};
+use aurora_posix::Pid;
+use aurora_sim::clock::Stopwatch;
+use aurora_vm::{CollapseMode, SpaceId};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
+
+/// Output of the Quiesce stage: the frozen membership.
+pub struct Quiesced {
+    /// Every live member, ephemeral included (all are quiesced).
+    pub pids: Vec<Pid>,
+    /// The persistent members (what gets serialized).
+    pub persist: Vec<Pid>,
+    /// The persistent members' address spaces.
+    pub spaces: Vec<SpaceId>,
+    /// First (full) checkpoint of the group?
+    pub full: bool,
+}
+
+/// Output of the Serialize stage: the reachability scan and the encoded
+/// records, ready to flush.
+pub struct Serialized {
+    /// Everything reachable from the group (§5.2's exactly-once scan).
+    pub reach: Reach,
+    /// Encoded records, (OID, record bytes), serialization order.
+    pub buffers: Vec<(Oid, Vec<u8>)>,
+}
+
+/// Output of the Flush stage.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FlushOut {
+    /// Pages written to the store.
+    pub pages_flushed: u64,
+    /// Data bytes written (records + pages).
+    pub bytes_flushed: u64,
+}
+
+/// One checkpoint, as an explicit staged pipeline over a group.
+pub struct CheckpointPipeline<'a> {
+    sls: &'a mut Sls,
+    gid: GroupId,
+    registry: Arc<SerializerRegistry>,
+    collapse_mode: CollapseMode,
+    pids: Vec<Pid>,
+    persist: Vec<Pid>,
+    full: bool,
+}
+
+impl<'a> CheckpointPipeline<'a> {
+    /// Prepares a checkpoint of `gid`: validates membership and applies
+    /// backpressure (Aurora waits for the previous checkpoint to fully
+    /// persist before initiating another, §7).
+    pub fn new(sls: &'a mut Sls, gid: GroupId) -> Result<Self, SlsError> {
+        let pids = sls.group_pids(gid)?;
+        let persist: Vec<Pid> = pids
+            .iter()
+            .copied()
+            .filter(|&p| sls.kernel.proc(p).map(|pr| !pr.ephemeral).unwrap_or(false))
+            .collect();
+        if persist.is_empty() {
+            return Err(SlsError::NoSuchGroup(gid));
+        }
+        let (collapse_mode, pending) = {
+            let g = sls.groups.get(&gid).ok_or(SlsError::NoSuchGroup(gid))?;
+            (g.opts.collapse_mode, g.pending_durable)
+        };
+        sls.kernel.charge.clock().advance_to(pending);
+        let full = sls.groups[&gid].epochs.is_empty();
+        let registry = sls.registry.clone();
+        Ok(Self { sls, gid, registry, collapse_mode, pids, persist, full })
+    }
+
+    /// Runs every stage in order and assembles the stats. Stage timings
+    /// are cumulative marks off one stopwatch, so they sum exactly.
+    pub fn run(mut self) -> Result<CheckpointStats, SlsError> {
+        let clock = self.sls.kernel.charge.clock().clone();
+        let sw = Stopwatch::start(&clock);
+        let mut last = 0u64;
+        let mark = |last: &mut u64, now: u64| {
+            let d = now - *last;
+            *last = now;
+            d
+        };
+        let mut stats = CheckpointStats::default();
+
+        let q = self.quiesce()?;
+        stats.quiesce_ns = mark(&mut last, sw.elapsed_ns());
+        self.collapse(&q)?;
+        stats.collapse_ns = mark(&mut last, sw.elapsed_ns());
+        self.aio_drain(&q)?;
+        stats.aio_ns = mark(&mut last, sw.elapsed_ns());
+        let s = self.serialize(&q)?;
+        stats.os_state_ns = mark(&mut last, sw.elapsed_ns());
+        self.shadow(&q, &s)?;
+        stats.shadow_ns = mark(&mut last, sw.elapsed_ns());
+        self.resume(&q)?;
+        stats.resume_ns = mark(&mut last, sw.elapsed_ns());
+        stats.stop_time_ns = last;
+
+        let f = self.flush(&s)?;
+        stats.flush_ns = mark(&mut last, sw.elapsed_ns());
+        let sealed = self.seal()?;
+        stats.seal_ns = mark(&mut last, sw.elapsed_ns());
+        let info = self.commit(sealed)?;
+        stats.commit_ns = mark(&mut last, sw.elapsed_ns());
+
+        stats.epoch = info.epoch;
+        stats.full = q.full;
+        stats.objects = s.buffers.len() as u64;
+        stats.pages_flushed = f.pages_flushed;
+        stats.bytes_flushed = f.bytes_flushed;
+        stats.durable_at = info.durable_at;
+        Ok(stats)
+    }
+
+    /// Stage 1 — Quiesce: every member (ephemeral included) stops at
+    /// the kernel boundary.
+    pub fn quiesce(&mut self) -> Result<Quiesced, SlsError> {
+        self.sls.kernel.quiesce(&self.pids)?;
+        self.sls.kernel.charge.raw(self.sls.kernel.charge.model().checkpoint_barrier_ns);
+        let spaces: Vec<SpaceId> = self
+            .persist
+            .iter()
+            .map(|&p| self.sls.kernel.proc(p).map(|pr| pr.space))
+            .collect::<Result<_, _>>()?;
+        Ok(Quiesced {
+            pids: self.pids.clone(),
+            persist: self.persist.clone(),
+            spaces,
+            full: self.full,
+        })
+    }
+
+    /// Stage 2 — Collapse: fold the shadows retired by the previous
+    /// checkpoint; their flush is durable thanks to the backpressure
+    /// wait.
+    pub fn collapse(&mut self, q: &Quiesced) -> Result<(), SlsError> {
+        if q.full {
+            return Ok(());
+        }
+        let mut tops = BTreeSet::new();
+        for &space in &q.spaces {
+            for e in self.sls.kernel.vm.entries(space)? {
+                tops.insert(e.object);
+            }
+        }
+        for top in tops {
+            // Refusals (short chains, fork shadows in the middle) are
+            // expected; corruption is not.
+            let _ = self.sls.kernel.vm.collapse_under(top, self.collapse_mode);
+        }
+        Ok(())
+    }
+
+    /// Stage 3 — AioDrain: in-flight writes must be incorporated before
+    /// the checkpoint counts as complete — wait them out now; reads stay
+    /// pending and are recorded for reissue at restore (§5.3).
+    pub fn aio_drain(&mut self, q: &Quiesced) -> Result<(), SlsError> {
+        let member: HashSet<u32> = q.persist.iter().map(|p| p.0).collect();
+        let pending_writes: Vec<u64> = self
+            .sls
+            .kernel
+            .aio
+            .in_flight()
+            .filter(|op| member.contains(&op.pid) && op.kind == aurora_posix::aio::AioKind::Write)
+            .map(|op| op.id)
+            .collect();
+        for id in pending_writes {
+            // Device-side completion wait, then fold into the image.
+            self.sls.kernel.charge.raw(12_000);
+            self.sls.kernel.aio.complete(id, false);
+        }
+        Ok(())
+    }
+
+    /// Stage 4 — Serialize: walk the object graph once, assign OIDs, and
+    /// encode every reachable object into a memory buffer — all through
+    /// the registry; no per-kind logic lives here.
+    pub fn serialize(&mut self, q: &Quiesced) -> Result<Serialized, SlsError> {
+        let reach = Reach::collect(&self.sls.kernel, &q.persist)?;
+        let plan: Vec<(KObjKind, Vec<u64>)> = self
+            .registry
+            .iter()
+            .map(|s| Ok((s.kind(), s.collect(&self.sls.kernel, &reach)?)))
+            .collect::<Result<_, SlsError>>()?;
+        {
+            let sls = &mut *self.sls;
+            let g = sls.groups.get_mut(&self.gid).ok_or(SlsError::NoSuchGroup(self.gid))?;
+            let mut store = sls.store.lock();
+            let mut lineages = sls.lineage_oids.lock();
+            let mut ctx = AssignCtx {
+                kernel: &sls.kernel,
+                store: &mut store,
+                oids: &mut g.oidmap,
+                lineages: &mut lineages,
+            };
+            for (kind, ids) in &plan {
+                let ser = self.registry.get(*kind)?;
+                for &id in ids {
+                    ser.assign_oid(&mut ctx, id)?;
+                }
+            }
+        }
+        let mut buffers: Vec<(Oid, Vec<u8>)> = Vec::new();
+        {
+            let g = self.sls.groups.get(&self.gid).ok_or(SlsError::NoSuchGroup(self.gid))?;
+            let k = &self.sls.kernel;
+            for (kind, ids) in &plan {
+                let ser = self.registry.get(*kind)?;
+                for &id in ids {
+                    let key = ser.key_of(k, id)?;
+                    let oid =
+                        g.oidmap.get(key).ok_or(SlsError::BadImage("object skipped assignment"))?;
+                    buffers.push((oid, ser.encode(k, id, &g.oidmap)?));
+                }
+            }
+        }
+        Ok(Serialized { reach, buffers })
+    }
+
+    /// Stage 5 — Shadow: one system shadow per writable object across
+    /// the whole group; COW-mark the frozen pages; TLB shootdown (§6).
+    pub fn shadow(&mut self, q: &Quiesced, s: &Serialized) -> Result<(), SlsError> {
+        let stats_before = self.sls.kernel.vm.stats;
+        let pairs = self.sls.kernel.vm.system_shadow(&q.spaces)?;
+        for pair in &pairs {
+            self.sls.kernel.shm_backmap(pair.old_top, pair.new_top);
+        }
+        let delta = self.sls.kernel.vm.stats - stats_before;
+        let model = self.sls.kernel.charge.model().clone();
+        self.sls.kernel.charge.raw(delta.pte_downgrades * model.pte_cow_ns);
+        self.sls.kernel.charge.raw(model.shootdown_ns(s.reach.threads.len() as u64));
+        Ok(())
+    }
+
+    /// Stage 6 — Resume: the application runs again; stop time ends.
+    pub fn resume(&mut self, q: &Quiesced) -> Result<(), SlsError> {
+        Ok(self.sls.kernel.resume(&q.pids)?)
+    }
+
+    /// Stage 7 — Flush, concurrent with execution: records as one
+    /// charged metadata batch, then each kind's bulk data through its
+    /// serializer's flush hook, then the group manifest.
+    pub fn flush(&mut self, s: &Serialized) -> Result<FlushOut, SlsError> {
+        let sls = &mut *self.sls;
+        let g = sls.groups.get_mut(&self.gid).ok_or(SlsError::NoSuchGroup(self.gid))?;
+        let mut store = sls.store.lock();
+        let mut out = FlushOut::default();
+
+        store.set_meta_batch(&s.buffers)?;
+        out.bytes_flushed += s.buffers.iter().map(|(_, b)| b.len() as u64).sum::<u64>();
+
+        let mut ctx = FlushCtx {
+            kernel: &mut sls.kernel,
+            store: &mut store,
+            oids: &g.oidmap,
+            reach: &s.reach,
+            vnode_hash: &mut g.vnode_hash,
+            pages_flushed: 0,
+            bytes_flushed: 0,
+        };
+        for ser in self.registry.iter() {
+            ser.flush(&mut ctx)?;
+        }
+        out.pages_flushed += ctx.pages_flushed;
+        out.bytes_flushed += ctx.bytes_flushed;
+
+        // The manifest, every checkpoint (the tree may have changed).
+        let manifest = serial::ManifestRecord {
+            period_ns: g.opts.period_ns,
+            extsync: g.opts.external_synchrony,
+            procs: s
+                .reach
+                .procs
+                .iter()
+                .map(|&p| {
+                    let pr = sls.kernel.proc(p).expect("member");
+                    (
+                        g.oidmap.get(crate::oidmap::KObj::Proc(p.0)).expect("assigned"),
+                        pr.local_pid.0,
+                        g.roots.contains(&p),
+                    )
+                })
+                .collect(),
+            fs_vnodes: s
+                .reach
+                .vnodes
+                .iter()
+                .map(|&v| g.oidmap.get(crate::oidmap::KObj::Vnode(v)).expect("assigned"))
+                .collect(),
+        };
+        store.create_object(
+            g.manifest,
+            aurora_objstore::ObjectKind::Posix(crate::oidmap::tag::MANIFEST),
+        )?;
+        store.set_meta(g.manifest, &serial::encode_manifest(&manifest))?;
+        Ok(out)
+    }
+
+    /// Stage 8 — Seal outbound messages under this checkpoint (external
+    /// synchrony, §3).
+    pub fn seal(&mut self) -> Result<HashMap<u64, usize>, SlsError> {
+        self.sls.seal_group_sockets(self.gid)
+    }
+
+    /// Stage 9 — Commit: one compact metadata record; durable once the
+    /// data completions it is ordered behind land.
+    pub fn commit(&mut self, sealed_counts: HashMap<u64, usize>) -> Result<CommitInfo, SlsError> {
+        let info = {
+            let mut store = self.sls.store.lock();
+            store.commit()?
+        };
+        let now = self.sls.kernel.charge.clock().now();
+        let g = self.sls.groups.get_mut(&self.gid).ok_or(SlsError::NoSuchGroup(self.gid))?;
+        g.epochs.push(info.epoch);
+        g.pending_durable = info.durable_at;
+        g.last_checkpoint_ns = now;
+        if g.opts.external_synchrony {
+            g.sealed.push_back(SealedBatch { durable_at: info.durable_at, counts: sealed_counts });
+        }
+        Ok(info)
+    }
+}

@@ -1,22 +1,18 @@
 //! Restore (§4, §5.3): rebuild a consistency group from a checkpoint,
-//! full or lazy, relinking every shared object and virtualizing ids.
+//! full or lazy. The restore is recursion-driven through the
+//! [`crate::registry::SerializerRegistry`]: the manifest names the
+//! file-system namespace and the processes; each serializer's `restore`
+//! hook pulls in the objects it references (a file restores its target,
+//! a memory object its backer, a socket its peer), so sharing is
+//! re-linked by construction and no per-type logic lives here.
 
-use crate::oidmap::{tag, KObj};
-use crate::serial::{self, FileTarget};
+use crate::oidmap::tag;
+use crate::registry::{KObjKind, Rebuild};
+use crate::serial;
 use crate::{Group, GroupId, Sls, SlsError, SlsOptions};
 use aurora_objstore::{ObjectKind, Oid};
-use aurora_posix::fd::{Fd, FdTable};
-use aurora_posix::file::{FileId, FileKind, OpenFile, PipeEnd, PtySide};
-use aurora_posix::ids::PidNamespace;
-use aurora_posix::kqueue::Kqueue;
-use aurora_posix::pipe::Pipe;
-use aurora_posix::process::{sig, Process, Thread, ThreadState};
-use aurora_posix::pty::{Pty, Termios};
-use aurora_posix::shm::{PosixShm, SysvShm};
-use aurora_posix::socket::{Domain, InetAddr, Message, SockType, Socket, TcpState};
-use aurora_posix::vfs::{Vnode, VnodeKind};
-use aurora_posix::{Pid, Tid, VnodeId};
-use aurora_vm::{Inherit, ObjId, ObjKind, Prot, PAGE_SIZE};
+use aurora_posix::Pid;
+use aurora_vm::Inherit;
 use std::collections::{HashMap, VecDeque};
 
 /// How to bring memory back (§6, "lazy restores").
@@ -39,20 +35,6 @@ pub struct RestoreReport {
     pub pages_read: u64,
     /// Restore wall time on the virtual clock, ns.
     pub elapsed_ns: u64,
-}
-
-/// Transient state while rebuilding one image.
-#[derive(Default)]
-struct Rebuild {
-    mem: HashMap<Oid, ObjId>,
-    vnodes: HashMap<Oid, VnodeId>,
-    pipes: HashMap<Oid, u64>,
-    sockets: HashMap<Oid, u64>,
-    kqueues: HashMap<Oid, u64>,
-    ptys: HashMap<Oid, u64>,
-    shm_posix: HashMap<Oid, u64>,
-    files: HashMap<Oid, FileId>,
-    pages_read: u64,
 }
 
 impl Sls {
@@ -86,272 +68,22 @@ impl Sls {
             let store = self.store.lock();
             serial::decode_manifest(store.meta_at(manifest, epoch)?)?
         };
-
-        // Read all process records first; everything else is discovered
-        // through them.
-        let mut proc_recs: Vec<(Oid, serial::ProcRecord)> = Vec::new();
-        for (poid, _local, _root) in &man.procs {
-            let bytes = {
-                let store = self.store.lock();
-                store.meta_at(*poid, epoch)?.to_vec()
-            };
-            proc_recs.push((*poid, serial::decode_proc(&bytes)?));
-        }
-
+        let registry = self.registry.clone();
         let mut rb = Rebuild::default();
+        rb.kernel_ns = self.kernel.alloc_ns();
 
         // The file-system namespace first: every vnode in the image.
         for voi in &man.fs_vnodes {
-            self.restore_vnode(*voi, epoch, &mut rb)?;
+            registry.restore_one(KObjKind::Vnode, self, *voi, epoch, mode, &mut rb)?;
         }
-
-        // Object discovery: files (transitively through sockets), then
-        // targets.
-        let mut file_queue: VecDeque<Oid> = VecDeque::new();
-        for (_, rec) in &proc_recs {
-            for (_, foid) in &rec.fds {
-                if !rb.files.contains_key(foid) {
-                    rb.files.insert(*foid, FileId(0)); // placeholder
-                    file_queue.push_back(*foid);
-                }
-            }
+        // Processes, parents before children (manifest order); each one
+        // recursively restores everything it references.
+        for (poid, _local, _root) in &man.procs {
+            registry.restore_one(KObjKind::Proc, self, *poid, epoch, mode, &mut rb)?;
         }
-        let mut file_recs: HashMap<Oid, serial::FileRecord> = HashMap::new();
-        let mut socket_recs: HashMap<Oid, serial::SocketRecord> = HashMap::new();
-        while let Some(foid) = file_queue.pop_front() {
-            let bytes = {
-                let store = self.store.lock();
-                store.meta_at(foid, epoch)?.to_vec()
-            };
-            let rec = serial::decode_file(&bytes)?;
-            if let FileTarget::Socket(soid) = rec.target {
-                if !socket_recs.contains_key(&soid) {
-                    let sbytes = {
-                        let store = self.store.lock();
-                        store.meta_at(soid, epoch)?.to_vec()
-                    };
-                    let srec = serial::decode_socket(&sbytes)?;
-                    for (_, fds) in srec.recv_buf.iter().chain(srec.send_buf.iter()) {
-                        for f in fds {
-                            if !rb.files.contains_key(f) {
-                                rb.files.insert(*f, FileId(0));
-                                file_queue.push_back(*f);
-                            }
-                        }
-                    }
-                    socket_recs.insert(soid, srec);
-                }
-            }
-            file_recs.insert(foid, rec);
-        }
-
-        // Rebuild targets.
-        for rec in file_recs.values() {
-            match rec.target {
-                FileTarget::Vnode(v) => {
-                    self.restore_vnode(v, epoch, &mut rb)?;
-                }
-                FileTarget::Pipe(p, _) => {
-                    self.restore_pipe(p, epoch, &mut rb)?;
-                }
-                FileTarget::Kqueue(q) => {
-                    self.restore_kqueue(q, epoch, &mut rb)?;
-                }
-                FileTarget::Pty(p, _) => {
-                    self.restore_pty(p, epoch, &mut rb)?;
-                }
-                FileTarget::ShmPosix(s) => {
-                    self.restore_shm_posix(s, epoch, mode, &mut rb)?;
-                }
-                FileTarget::Socket(_) | FileTarget::Device(_) => {}
-            }
-        }
-        // Sockets (records already loaded).
-        let socket_oids: Vec<Oid> = socket_recs.keys().copied().collect();
-        for soid in socket_oids {
-            self.restore_socket(soid, &socket_recs, &mut rb)?;
-        }
-
-        // Memory objects referenced by map entries (bottom-up through
-        // backers).
-        for (_, rec) in &proc_recs {
-            for e in &rec.entries {
-                self.restore_mem(e.mem, epoch, mode, &mut rb)?;
-            }
-        }
-
-        // File descriptions now that targets exist.
-        let file_oids: Vec<Oid> = file_recs.keys().copied().collect();
-        for foid in &file_oids {
-            let rec = &file_recs[foid];
-            let kind = match rec.target {
-                FileTarget::Vnode(v) => {
-                    let ino = rb.vnodes[&v];
-                    self.kernel.vfs.open_ref(ino)?;
-                    FileKind::Vnode(ino)
-                }
-                FileTarget::Pipe(p, read) => FileKind::Pipe {
-                    pipe: rb.pipes[&p],
-                    end: if read { PipeEnd::Read } else { PipeEnd::Write },
-                },
-                FileTarget::Socket(s) => FileKind::Socket(rb.sockets[&s]),
-                FileTarget::Kqueue(q) => FileKind::Kqueue(rb.kqueues[&q]),
-                FileTarget::Pty(p, master) => FileKind::Pty {
-                    pty: rb.ptys[&p],
-                    side: if master { PtySide::Master } else { PtySide::Slave },
-                },
-                FileTarget::ShmPosix(s) => FileKind::ShmPosix(rb.shm_posix[&s]),
-                FileTarget::Device(d) => FileKind::Device(d),
-            };
-            let fid = FileId(self.next_file_id());
-            self.kernel.insert_file(OpenFile {
-                id: fid,
-                kind,
-                offset: rec.offset,
-                flags: serial::flags_from(rec.flags),
-                refs: 0, // counted as slots/in-flight references install
-                extsync_disabled: rec.extsync_disabled,
-            });
-            self.kernel.charge.allocs(1);
-            rb.files.insert(*foid, fid);
-        }
-        // In-flight fds inside restored socket buffers.
-        for (soid, srec) in &socket_recs {
-            let sid = rb.sockets[soid];
-            let sock = self.kernel.sockets.get_mut(&sid).expect("restored");
-            for (i, (_, fds)) in srec.recv_buf.iter().enumerate() {
-                sock.recv_buf[i].fds = fds.iter().map(|f| rb.files[f]).collect();
-            }
-            for (i, (_, fds)) in srec.send_buf.iter().enumerate() {
-                sock.send_buf[i].fds = fds.iter().map(|f| rb.files[f]).collect();
-            }
-            let inflight: Vec<FileId> = srec
-                .recv_buf
-                .iter()
-                .chain(srec.send_buf.iter())
-                .flat_map(|(_, fds)| fds.iter().map(|f| rb.files[f]))
-                .collect();
-            for fid in inflight {
-                self.kernel.files.get_mut(&fid).expect("restored").refs += 1;
-            }
-        }
-
-        // Processes, parents before children (manifest order).
-        let kernel_ns = self.kernel.alloc_ns();
-        let mut ns = PidNamespace::new();
-        let mut new_pids: Vec<Pid> = Vec::new();
-        let mut thread_count = 0u64;
-        for (_, rec) in &proc_recs {
-            let global = if self.kernel.pid_alloc.reserve(rec.local_pid).is_ok() {
-                Pid(rec.local_pid)
-            } else {
-                Pid(self.kernel.pid_alloc.alloc())
-            };
-            ns.insert(rec.local_pid, global.0);
-            let space = self.kernel.vm.create_space();
-            // Map entries.
-            for e in &rec.entries {
-                let obj = rb.mem[&e.mem];
-                self.kernel.vm.ref_object(obj)?;
-                let pages = (e.end - e.start) / PAGE_SIZE as u64;
-                self.kernel.vm.map(
-                    space,
-                    Some(e.start),
-                    pages,
-                    Prot(e.prot),
-                    obj,
-                    e.offset_pages,
-                    decode_inherit(e.inherit)?,
-                )?;
-                if e.sls_exclude {
-                    self.kernel.vm.set_sls_exclude(space, e.start, true)?;
-                }
-            }
-            // Threads.
-            let mut tids = Vec::with_capacity(rec.threads.len());
-            for toid in &rec.threads {
-                let bytes = {
-                    let store = self.store.lock();
-                    store.meta_at(*toid, epoch)?.to_vec()
-                };
-                let trec = serial::decode_thread(&bytes)?;
-                let gtid = if self.kernel.tid_alloc.reserve(trec.local_tid).is_ok() {
-                    Tid(trec.local_tid)
-                } else {
-                    Tid(self.kernel.tid_alloc.alloc())
-                };
-                self.kernel.threads.insert(
-                    gtid,
-                    Thread {
-                        tid: gtid,
-                        local_tid: Tid(trec.local_tid),
-                        pid: global,
-                        state: ThreadState::User,
-                        sigmask: trec.sigmask,
-                        sigpending: trec.sigpending,
-                        priority: trec.priority,
-                        regs: trec.regs,
-                        restarts: 0,
-                    },
-                );
-                self.kernel.charge.allocs(2);
-                tids.push(gtid);
-                thread_count += 1;
-            }
-            // Descriptor table.
-            let mut fdtable = FdTable::new();
-            for (fdno, foid) in &rec.fds {
-                let fid = rb.files[foid];
-                fdtable.install_at(Fd(*fdno), fid);
-                self.kernel.files.get_mut(&fid).expect("restored").refs += 1;
-            }
-            let parent_global = rec.parent_local.map(|l| Pid(ns.global_of(l)));
-            self.kernel.procs.insert(
-                global,
-                Process {
-                    pid: global,
-                    local_pid: Pid(rec.local_pid),
-                    ppid: parent_global,
-                    pgid: Pid(rec.pgid),
-                    sid: Pid(rec.sid),
-                    name: rec.name.clone(),
-                    space,
-                    fdtable,
-                    threads: tids,
-                    children: Vec::new(),
-                    ns: kernel_ns,
-                    sigpending: if rec.had_ephemeral_children {
-                        // The ephemeral child "exited" from the parent's
-                        // point of view (§3).
-                        sig::bit(sig::SIGCHLD)
-                    } else {
-                        0
-                    },
-                    ephemeral: false,
-                    dead: false,
-                },
-            );
-            if let Some(pp) = parent_global {
-                if let Ok(parent) = self.kernel.proc_mut(pp) {
-                    parent.children.push(global);
-                }
-            }
-            // Reissue recorded asynchronous reads (§5.3).
-            for (foid, off, len) in &rec.aio_reads {
-                let fid = rb.files[foid];
-                self.kernel.aio.issue(
-                    global.0,
-                    fid,
-                    *off,
-                    *len,
-                    aurora_posix::aio::AioKind::Read,
-                );
-            }
-            self.kernel.charge.allocs(3);
-            self.kernel.charge.locks(2);
-            new_pids.push(global);
-            let _ = thread_count;
-        }
+        // Cross-object links that need the full population (in-flight
+        // descriptors inside socket buffers), run to a fixpoint.
+        registry.post_restore_all(self, epoch, mode, &mut rb)?;
 
         // Register the restored group so subsequent checkpoints continue
         // the same on-disk objects.
@@ -362,7 +94,7 @@ impl Sls {
                 .procs
                 .iter()
                 .filter(|(_, _, root)| *root)
-                .map(|(_, local, _)| Pid(ns.global_of(*local)))
+                .map(|(_, local, _)| Pid(rb.pid_ns.global_of(*local)))
                 .collect(),
             opts: SlsOptions {
                 period_ns: man.period_ns,
@@ -379,371 +111,35 @@ impl Sls {
             named: HashMap::new(),
         };
         // Re-bind the oid map so the exactly-once scan recognizes the
-        // restored objects.
-        for ((poid, _, _), pid) in man.procs.iter().zip(new_pids.iter()) {
-            group.oidmap.bind(KObj::Proc(pid.0), *poid);
-        }
-        for (oid, fid) in &rb.files {
-            group.oidmap.bind(KObj::File(fid.0), *oid);
-        }
-        for (oid, v) in &rb.vnodes {
-            group.oidmap.bind(KObj::Vnode(v.0), *oid);
-        }
-        for (oid, p) in &rb.pipes {
-            group.oidmap.bind(KObj::Pipe(*p), *oid);
-        }
-        for (oid, s) in &rb.sockets {
-            group.oidmap.bind(KObj::Socket(*s), *oid);
-        }
-        for (oid, q) in &rb.kqueues {
-            group.oidmap.bind(KObj::Kqueue(*q), *oid);
-        }
-        for (oid, p) in &rb.ptys {
-            group.oidmap.bind(KObj::Pty(*p), *oid);
-        }
-        for (oid, s) in &rb.shm_posix {
-            group.oidmap.bind(KObj::ShmPosix(*s), *oid);
-        }
-        for (oid, obj) in &rb.mem {
-            let lineage = self.kernel.vm.object(*obj)?.lineage.0;
-            group.oidmap.bind(KObj::Mem(lineage), *oid);
-            // (the pinned binding was installed by restore_mem)
+        // restored objects — one generic loop; each serializer supplies
+        // its rebind key (identity except memory, which keys by lineage).
+        for (kind, oid, id) in rb.entries() {
+            let ser = registry.get(kind)?;
+            group.oidmap.bind(kind.key(ser.rebind_key(self, id)?), oid);
         }
         self.groups.insert(gid, group);
 
         Ok(RestoreReport {
             group: gid,
-            pids: new_pids,
+            pids: rb.new_pids.clone(),
             pages_read: rb.pages_read,
             elapsed_ns: clock.now() - t0,
         })
     }
 
-    fn next_file_id(&mut self) -> u64 {
+    pub(crate) fn next_file_id(&mut self) -> u64 {
         // Delegate to the kernel's allocator by probing insert_file's
         // monotone counter: allocate a fresh id above everything seen.
         let max = self.kernel.files.keys().map(|f| f.0).max().unwrap_or(0);
         max + 1
     }
 
-    fn next_group_id(&mut self) -> u64 {
+    pub(crate) fn next_group_id(&mut self) -> u64 {
         self.groups.keys().map(|g| g.0).max().unwrap_or(0) + 1
-    }
-
-    fn restore_vnode(&mut self, oid: Oid, epoch: u64, rb: &mut Rebuild) -> Result<(), SlsError> {
-        if rb.vnodes.contains_key(&oid) {
-            return Ok(());
-        }
-        let (rec, content) = {
-            let mut store = self.store.lock();
-            let rec = serial::decode_vnode(store.meta_at(oid, epoch)?)?;
-            let mut content = Vec::new();
-            if !rec.is_dir && rec.size > 0 {
-                let pages: Vec<u64> = (0..rec.size.div_ceil(PAGE_SIZE as u64)).collect();
-                for (_, page) in store.read_pages_bulk(oid, epoch, &pages)? {
-                    content.extend_from_slice(&page);
-                    rb.pages_read += 1;
-                }
-                content.truncate(rec.size as usize);
-            }
-            (rec, content)
-        };
-        let kind = if rec.is_dir {
-            VnodeKind::Directory {
-                entries: rec
-                    .dirents
-                    .iter()
-                    .map(|(n, ino)| (n.clone(), VnodeId(*ino)))
-                    .collect(),
-            }
-        } else {
-            VnodeKind::Regular { data: content }
-        };
-        self.kernel.charge.allocs(2);
-        self.kernel.charge.locks(1);
-        self.kernel.vfs.insert_vnode(Vnode {
-            id: VnodeId(rec.ino),
-            kind,
-            nlink: rec.nlink,
-            open_refs: 0, // re-counted as descriptions reference it
-        });
-        rb.vnodes.insert(oid, VnodeId(rec.ino));
-        Ok(())
-    }
-
-    fn restore_pipe(&mut self, oid: Oid, epoch: u64, rb: &mut Rebuild) -> Result<(), SlsError> {
-        if rb.pipes.contains_key(&oid) {
-            return Ok(());
-        }
-        let rec = {
-            let store = self.store.lock();
-            serial::decode_pipe(store.meta_at(oid, epoch)?)?
-        };
-        self.kernel.charge.allocs(2);
-        self.kernel.charge.locks(1);
-        self.kernel.charge.misses(10);
-        let id = self.kernel.pipes.keys().max().copied().unwrap_or(0) + 1;
-        let mut pipe = Pipe::new(id);
-        pipe.capacity = rec.capacity as usize;
-        pipe.reader_open = rec.reader_open;
-        pipe.writer_open = rec.writer_open;
-        pipe.buffer.extend(rec.buffer.iter().copied());
-        self.kernel.pipes.insert(id, pipe);
-        rb.pipes.insert(oid, id);
-        Ok(())
-    }
-
-    fn restore_kqueue(&mut self, oid: Oid, epoch: u64, rb: &mut Rebuild) -> Result<(), SlsError> {
-        if rb.kqueues.contains_key(&oid) {
-            return Ok(());
-        }
-        let rec = {
-            let store = self.store.lock();
-            serial::decode_kqueue(store.meta_at(oid, epoch)?)?
-        };
-        // Restore is a bulk insert — cheap compared to the per-knote
-        // locking at checkpoint time (Table 4's asymmetry).
-        self.kernel.charge.allocs(1);
-        self.kernel.charge.locks(1);
-        self.kernel.charge.misses(8);
-        let id = self.kernel.kqueues.keys().max().copied().unwrap_or(0) + 1;
-        let mut kq = Kqueue::new(id);
-        kq.events = serial::kevents_from(&rec)?;
-        self.kernel.kqueues.insert(id, kq);
-        rb.kqueues.insert(oid, id);
-        Ok(())
-    }
-
-    fn restore_pty(&mut self, oid: Oid, epoch: u64, rb: &mut Rebuild) -> Result<(), SlsError> {
-        if rb.ptys.contains_key(&oid) {
-            return Ok(());
-        }
-        let rec = {
-            let store = self.store.lock();
-            serial::decode_pty(store.meta_at(oid, epoch)?)?
-        };
-        // Recreating the device node takes the devfs locks — the slow
-        // restore row of Table 4.
-        self.kernel.charge.raw(self.kernel.charge.model().devfs_create_ns);
-        self.kernel.charge.allocs(2);
-        let id = self.kernel.ptys.keys().max().copied().unwrap_or(0) + 1;
-        let mut pty = Pty::new(id);
-        pty.termios = Termios { canonical: rec.term.0, echo: rec.term.1, baud: rec.baud };
-        pty.input.extend(rec.input.iter().copied());
-        pty.output.extend(rec.output.iter().copied());
-        pty.fg_pgid = rec.fg_pgid;
-        self.kernel.ptys.insert(id, pty);
-        rb.ptys.insert(oid, id);
-        Ok(())
-    }
-
-    fn restore_shm_posix(
-        &mut self,
-        oid: Oid,
-        epoch: u64,
-        mode: RestoreMode,
-        rb: &mut Rebuild,
-    ) -> Result<(), SlsError> {
-        if rb.shm_posix.contains_key(&oid) {
-            return Ok(());
-        }
-        let rec = {
-            let store = self.store.lock();
-            serial::decode_shm_posix(store.meta_at(oid, epoch)?)?
-        };
-        self.restore_mem(rec.mem, epoch, mode, rb)?;
-        self.kernel.charge.allocs(1);
-        self.kernel.charge.locks(2);
-        let id = self.kernel.shm.next_id();
-        self.kernel.shm.posix.insert(
-            id,
-            PosixShm { id, name: rec.name.clone(), object: rb.mem[&rec.mem], pages: rec.pages },
-        );
-        rb.shm_posix.insert(oid, id);
-        Ok(())
-    }
-
-    /// Restores a SysV segment discovered through a memory object.
-    fn restore_shm_sysv_for(
-        &mut self,
-        oid: Oid,
-        epoch: u64,
-        rb: &mut Rebuild,
-    ) -> Result<(), SlsError> {
-        let rec = {
-            let store = self.store.lock();
-            serial::decode_shm_sysv(store.meta_at(oid, epoch)?)?
-        };
-        self.kernel.charge.allocs(1);
-        self.kernel.charge.locks(2);
-        let id = self.kernel.shm.next_id();
-        self.kernel.shm.sysv.insert(
-            id,
-            SysvShm {
-                id,
-                key: rec.key,
-                object: rb.mem[&rec.mem],
-                pages: rec.pages,
-                nattch: rec.nattch,
-            },
-        );
-        Ok(())
-    }
-
-    fn restore_socket(
-        &mut self,
-        oid: Oid,
-        recs: &HashMap<Oid, serial::SocketRecord>,
-        rb: &mut Rebuild,
-    ) -> Result<(), SlsError> {
-        if rb.sockets.contains_key(&oid) {
-            return Ok(());
-        }
-        let rec = &recs[&oid];
-        self.kernel.charge.allocs(2);
-        self.kernel.charge.locks(2);
-        self.kernel.charge.misses(14);
-        let id = self.kernel.sockets.keys().max().copied().unwrap_or(0) + 1;
-        let mut s = Socket::new(
-            id,
-            if rec.domain == 0 { Domain::Unix } else { Domain::Inet },
-            if rec.stype == 0 { SockType::Stream } else { SockType::Dgram },
-        );
-        s.opts.nodelay = rec.opts.0;
-        s.opts.reuseaddr = rec.opts.1;
-        s.opts.keepalive = rec.opts.2;
-        s.unix_path = rec.unix_path.clone();
-        s.inet = (
-            InetAddr { ip: rec.local.0, port: rec.local.1 },
-            InetAddr { ip: rec.remote.0, port: rec.remote.1 },
-        );
-        s.tcp_state = match rec.tcp_state {
-            1 => TcpState::Listen,
-            2 => TcpState::Established,
-            _ => TcpState::Closed,
-        };
-        s.snd_seq = rec.snd_seq;
-        s.rcv_seq = rec.rcv_seq;
-        // Buffers (fds re-linked after file descriptions exist).
-        for (data, _) in &rec.recv_buf {
-            s.recv_buf.push_back(Message { data: data.clone(), fds: Vec::new() });
-        }
-        for (data, _) in &rec.send_buf {
-            s.send_buf.push_back(Message { data: data.clone(), fds: Vec::new() });
-            s.sent_count += 1;
-        }
-        self.kernel.sockets.insert(id, s);
-        rb.sockets.insert(oid, id);
-        // Link the peer if it is part of the image.
-        if let Some(peer_oid) = rec.peer {
-            if recs.contains_key(&peer_oid) {
-                self.restore_socket(peer_oid, recs, rb)?;
-                let peer_id = rb.sockets[&peer_oid];
-                self.kernel.sockets.get_mut(&id).expect("restored").peer = Some(peer_id);
-                self.kernel.sockets.get_mut(&peer_id).expect("restored").peer = Some(id);
-            }
-        }
-        Ok(())
-    }
-
-    fn restore_mem(
-        &mut self,
-        oid: Oid,
-        epoch: u64,
-        mode: RestoreMode,
-        rb: &mut Rebuild,
-    ) -> Result<ObjId, SlsError> {
-        if let Some(&obj) = rb.mem.get(&oid) {
-            return Ok(obj);
-        }
-        let rec = {
-            let store = self.store.lock();
-            serial::decode_mem(store.meta_at(oid, epoch)?)?
-        };
-        // Bottom-up: the backer first.
-        let backer = match rec.backer {
-            Some(b) => Some(self.restore_mem(b, epoch, mode, rb)?),
-            None => None,
-        };
-        let kind = match rec.kind {
-            1 => {
-                // Vnode-backed: ensure the vnode exists.
-                if let Some(voi) = rec.vnode {
-                    self.restore_vnode(voi, epoch, rb)?;
-                    ObjKind::Vnode { vnode: rb.vnodes[&voi].0 }
-                } else {
-                    ObjKind::Anonymous
-                }
-            }
-            2 => ObjKind::Device { dev: 1 }, // re-injected device page (§5.3)
-            _ => ObjKind::Anonymous,
-        };
-        self.kernel.charge.allocs(1);
-        self.kernel.charge.locks(1);
-        let obj = self.kernel.vm.create_object(kind, rec.size_pages);
-        if let Some(b) = backer {
-            self.kernel.vm.set_backer(obj, b)?;
-        }
-        // Populate pages.
-        if rec.kind != 2 {
-            let pages = {
-                let store = self.store.lock();
-                store.pages_at(oid, epoch).unwrap_or_default()
-            };
-            match mode {
-                RestoreMode::Full => {
-                    let loaded = {
-                        let mut store = self.store.lock();
-                        store.read_pages_bulk(oid, epoch, &pages)?
-                    };
-                    for (pi, data) in loaded {
-                        self.kernel.vm.install_page(obj, pi, Box::new(data), false)?;
-                        rb.pages_read += 1;
-                    }
-                }
-                RestoreMode::Lazy => {
-                    for pi in pages {
-                        self.kernel.vm.mark_swapped(obj, pi)?;
-                    }
-                }
-            }
-        }
-        // Bind the fresh lineage immediately so lazy faults can page in
-        // — pinned to this restore's branch: history ≤ epoch plus
-        // whatever this instance commits from now on.
-        let lineage = self.kernel.vm.object(obj)?.lineage.0;
-        let resume = self.store.lock().current_epoch();
-        self.lineage_oids
-            .lock()
-            .insert(lineage, crate::LineageBinding { oid, floor: epoch, resume });
-        // Creation gave us one reference the map entries will take over;
-        // release it after the last map() call — handled by callers
-        // holding refs. For simplicity the creation ref is retained by
-        // the rebuild table and dropped when the kernel tears down.
-        rb.mem.insert(oid, obj);
-        // SysV segments attached to this object.
-        let sysv_oids: Vec<Oid> = {
-            let store = self.store.lock();
-            store
-                .objects_at(epoch)?
-                .into_iter()
-                .filter(|o| store.kind(*o) == Ok(ObjectKind::Posix(tag::SHM_SYSV)))
-                .collect()
-        };
-        for so in sysv_oids {
-            let srec = {
-                let store = self.store.lock();
-                serial::decode_shm_sysv(store.meta_at(so, epoch)?)?
-            };
-            if srec.mem == oid && !self.kernel.shm.sysv.values().any(|s| s.key == srec.key) {
-                self.restore_shm_sysv_for(so, epoch, rb)?;
-            }
-        }
-        Ok(obj)
     }
 }
 
-fn decode_inherit(b: u8) -> Result<Inherit, SlsError> {
+pub(crate) fn decode_inherit(b: u8) -> Result<Inherit, SlsError> {
     Ok(match b {
         0 => Inherit::Share,
         1 => Inherit::Copy,

@@ -4,7 +4,7 @@
 
 use crate::restore::{RestoreMode, RestoreReport};
 use crate::{Sls, SlsError};
-use aurora_objstore::{ObjectKind, Oid};
+use aurora_objstore::{ObjectKind, Oid, PAGE};
 use aurora_sim::codec::{Decoder, Encoder};
 
 const STREAM_TAG: u16 = 0x5354;
@@ -62,11 +62,16 @@ impl Sls {
                 store.set_meta(oid, &meta)?;
             }
             let npages = body.u32()?;
+            let mut batch: Vec<(u64, [u8; PAGE])> = Vec::with_capacity(npages as usize);
             for _ in 0..npages {
                 let pi = body.u64()?;
-                let page: &[u8; 4096] =
-                    body.raw(4096)?.try_into().expect("exactly one page");
-                store.write_page(oid, pi, page)?;
+                let page: &[u8; PAGE] =
+                    body.raw(PAGE)?.try_into().expect("exactly one page");
+                batch.push((pi, *page));
+            }
+            if !batch.is_empty() {
+                // One charged bulk write per imported object.
+                store.write_pages(oid, &batch)?;
             }
             if kind == ObjectKind::Posix(crate::oidmap::tag::MANIFEST) {
                 manifests.push(oid);

@@ -119,6 +119,23 @@ pub enum FileTarget {
     Device(u64),
 }
 
+impl FileTarget {
+    /// The (kind, OID) this target references in the store, if any
+    /// (whitelisted devices are pass-throughs, not persisted objects).
+    pub fn kobj(self) -> Option<(crate::registry::KObjKind, Oid)> {
+        use crate::registry::KObjKind as K;
+        Some(match self {
+            FileTarget::Vnode(o) => (K::Vnode, o),
+            FileTarget::Pipe(o, _) => (K::Pipe, o),
+            FileTarget::Socket(o) => (K::Socket, o),
+            FileTarget::Kqueue(o) => (K::Kqueue, o),
+            FileTarget::Pty(o, _) => (K::Pty, o),
+            FileTarget::ShmPosix(o) => (K::ShmPosix, o),
+            FileTarget::Device(_) => return None,
+        })
+    }
+}
+
 /// A vnode record. Regular-file content is stored as the same store
 /// object's pages; this record holds metadata and directory entries.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -309,7 +326,10 @@ fn put_msgs(e: &mut Encoder, msgs: &[(Vec<u8>, Vec<Oid>)]) {
     }
 }
 
-fn get_msgs(d: &mut Decoder<'_>) -> Result<Vec<(Vec<u8>, Vec<Oid>)>, SlsError> {
+/// Decoded socket-buffer messages: (payload, in-flight descriptor OIDs).
+type Msgs = Vec<(Vec<u8>, Vec<Oid>)>;
+
+fn get_msgs(d: &mut Decoder<'_>) -> Result<Msgs, SlsError> {
     let n = d.u32()?;
     let mut out = Vec::with_capacity(n as usize);
     for _ in 0..n {

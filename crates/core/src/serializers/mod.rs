@@ -1,0 +1,6 @@
+//! The subsystem serializer implementations behind the registry
+//! (§5.2): [`posix`] registers the ten POSIX object kinds, [`vm`] the
+//! memory-object hierarchy. See [`crate::registry::default_registry`].
+
+pub mod posix;
+pub mod vm;

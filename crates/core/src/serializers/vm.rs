@@ -1,0 +1,189 @@
+//! The VM subsystem serializer (§6): memory objects, keyed by lineage
+//! so a shadow chain keeps writing the same on-disk object across
+//! checkpoints. Flushing batches every object's dirty pages into one
+//! charged bulk write; restoring rebuilds chains bottom-up (backer
+//! first) and pins the lineage binding to the restored branch.
+
+use crate::checkpoint::Reach;
+use crate::error::SlsError;
+use crate::oidmap::{tag, KObj, OidMap};
+use crate::registry::{AssignCtx, FlushCtx, KObjKind, Rebuild, Serializer, SerializerRegistry};
+use crate::restore::RestoreMode;
+use crate::serial;
+use crate::{LineageBinding, Sls};
+use aurora_objstore::{ObjectKind, Oid, PAGE};
+use aurora_posix::Kernel;
+use aurora_vm::{ObjId, ObjKind};
+
+/// Registers the VM subsystem's serializer.
+pub fn register(r: &mut SerializerRegistry) {
+    r.register(Box::new(MemSer));
+}
+
+struct MemSer;
+
+impl Serializer for MemSer {
+    fn kind(&self) -> KObjKind {
+        KObjKind::Mem
+    }
+
+    fn collect(&self, _k: &Kernel, reach: &Reach) -> Result<Vec<u64>, SlsError> {
+        Ok(reach.mem_objs.iter().map(|o| o.0).collect())
+    }
+
+    /// Memory objects key by lineage, not object id: every shadow in a
+    /// chain maps to the chain's single on-disk object.
+    fn key_of(&self, k: &Kernel, id: u64) -> Result<KObj, SlsError> {
+        Ok(KObj::Mem(k.vm.object(ObjId(id))?.lineage.0))
+    }
+
+    /// Besides the OID, assignment publishes the lineage binding to the
+    /// pager. An existing (possibly pinned) binding is kept: a restored
+    /// branch stays pinned; only brand-new lineages go live.
+    fn assign_oid(&self, ctx: &mut AssignCtx<'_>, id: u64) -> Result<Oid, SlsError> {
+        let lineage = ctx.kernel.vm.object(ObjId(id))?.lineage.0;
+        let oid = ctx.oids.get_or_create(ctx.store, KObj::Mem(lineage))?;
+        ctx.lineages.entry(lineage).or_insert_with(|| LineageBinding::live(oid));
+        Ok(oid)
+    }
+
+    fn encode(&self, k: &Kernel, id: u64, oids: &OidMap) -> Result<Vec<u8>, SlsError> {
+        serial::encode_mem(k, ObjId(id), oids)
+    }
+
+    /// Flushes the frozen objects' dirty pages. Chains are collected
+    /// top-down; flush BOTTOM-UP so that when two objects of one lineage
+    /// hold the same page index (a fork shadow under a system shadow),
+    /// the newer version lands last and wins in the store. Each object's
+    /// pages go out as one charged bulk write.
+    fn flush(&self, ctx: &mut FlushCtx<'_>) -> Result<(), SlsError> {
+        let FlushCtx { kernel, store, oids, reach, pages_flushed, bytes_flushed, .. } = ctx;
+        for &obj in reach.mem_objs.iter().rev() {
+            if matches!(kernel.vm.object(obj)?.kind, ObjKind::Device { .. }) {
+                continue; // device pages are re-injected at restore (§5.3)
+            }
+            let lineage = kernel.vm.object(obj)?.lineage.0;
+            let oid =
+                oids.get(KObj::Mem(lineage)).ok_or(SlsError::BadImage("unassigned memory object"))?;
+            let dirty: Vec<u64> = kernel
+                .vm
+                .resident_page_indices(obj)?
+                .into_iter()
+                .filter(|&(_, d)| d)
+                .map(|(pi, _)| pi)
+                .collect();
+            if dirty.is_empty() {
+                continue;
+            }
+            let mut batch: Vec<(u64, [u8; PAGE])> = Vec::with_capacity(dirty.len());
+            for &pi in &dirty {
+                batch.push((pi, *kernel.vm.page_bytes(obj, pi)?));
+            }
+            store.write_pages(oid, &batch)?;
+            for &pi in &dirty {
+                kernel.vm.mark_clean(obj, pi)?;
+            }
+            *pages_flushed += batch.len() as u64;
+            *bytes_flushed += (batch.len() * PAGE) as u64;
+        }
+        Ok(())
+    }
+
+    fn restore(
+        &self,
+        sls: &mut Sls,
+        reg: &SerializerRegistry,
+        oid: Oid,
+        epoch: u64,
+        mode: RestoreMode,
+        rb: &mut Rebuild,
+    ) -> Result<(), SlsError> {
+        if rb.get(KObjKind::Mem, oid).is_some() {
+            return Ok(());
+        }
+        let rec = {
+            let store = sls.store.lock();
+            serial::decode_mem(store.meta_at(oid, epoch)?)?
+        };
+        // Bottom-up: the backer first.
+        if let Some(b) = rec.backer {
+            reg.restore_one(KObjKind::Mem, sls, b, epoch, mode, rb)?;
+        }
+        let kind = match rec.kind {
+            1 => {
+                // Vnode-backed: ensure the vnode exists.
+                if let Some(voi) = rec.vnode {
+                    reg.restore_one(KObjKind::Vnode, sls, voi, epoch, mode, rb)?;
+                    ObjKind::Vnode { vnode: rb.require(KObjKind::Vnode, voi)? }
+                } else {
+                    ObjKind::Anonymous
+                }
+            }
+            2 => ObjKind::Device { dev: 1 }, // re-injected device page (§5.3)
+            _ => ObjKind::Anonymous,
+        };
+        sls.kernel.charge.allocs(1);
+        sls.kernel.charge.locks(1);
+        let obj = sls.kernel.vm.create_object(kind, rec.size_pages);
+        if let Some(b) = rec.backer {
+            sls.kernel.vm.set_backer(obj, ObjId(rb.require(KObjKind::Mem, b)?))?;
+        }
+        // Populate pages.
+        if rec.kind != 2 {
+            let pages = {
+                let store = sls.store.lock();
+                store.pages_at(oid, epoch).unwrap_or_default()
+            };
+            match mode {
+                RestoreMode::Full => {
+                    let loaded = {
+                        let mut store = sls.store.lock();
+                        store.read_pages_bulk(oid, epoch, &pages)?
+                    };
+                    for (pi, data) in loaded {
+                        sls.kernel.vm.install_page(obj, pi, Box::new(data), false)?;
+                        rb.pages_read += 1;
+                    }
+                }
+                RestoreMode::Lazy => {
+                    for pi in pages {
+                        sls.kernel.vm.mark_swapped(obj, pi)?;
+                    }
+                }
+            }
+        }
+        // Bind the fresh lineage immediately so lazy faults can page in
+        // — pinned to this restore's branch: history ≤ epoch plus
+        // whatever this instance commits from now on.
+        let lineage = sls.kernel.vm.object(obj)?.lineage.0;
+        let resume = sls.store.lock().current_epoch();
+        sls.lineage_oids.lock().insert(lineage, LineageBinding { oid, floor: epoch, resume });
+        // Record before scanning for attached segments — they reference
+        // this object back.
+        rb.insert(KObjKind::Mem, oid, obj.0);
+        // SysV segments attached to this object.
+        let sysv_oids: Vec<Oid> = {
+            let store = sls.store.lock();
+            store
+                .objects_at(epoch)?
+                .into_iter()
+                .filter(|o| store.kind(*o) == Ok(ObjectKind::Posix(tag::SHM_SYSV)))
+                .collect()
+        };
+        for so in sysv_oids {
+            let srec = {
+                let store = sls.store.lock();
+                serial::decode_shm_sysv(store.meta_at(so, epoch)?)?
+            };
+            if srec.mem == oid {
+                reg.restore_one(KObjKind::ShmSysv, sls, so, epoch, mode, rb)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Restored objects rebind by the *new* lineage the kernel assigned.
+    fn rebind_key(&self, sls: &Sls, id: u64) -> Result<u64, SlsError> {
+        Ok(sls.kernel.vm.object(ObjId(id))?.lineage.0)
+    }
+}

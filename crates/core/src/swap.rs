@@ -8,7 +8,7 @@
 
 use crate::{GroupId, LineageBinding, SharedStore, Sls, SlsError};
 use aurora_vm::{ObjKind, PageData};
-use parking_lot::Mutex;
+use aurora_sim::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 

@@ -2,7 +2,6 @@
 
 use aurora_core::world::World;
 use aurora_core::{AuroraApi, RestoreMode, SlsOptions};
-use aurora_posix::fd::Fd;
 use aurora_posix::file::OpenFlags;
 use aurora_posix::process::sig;
 use aurora_vm::{Prot, PAGE_SIZE};

@@ -12,8 +12,11 @@
 //! 500 MB Redis): `smaps`-style text parsing per VMA dominates the OS
 //! phase, and a ~1.2 GB/s stop-the-world copy dominates the rest.
 
+use aurora_core::oidmap::OidMap;
+use aurora_core::{default_registry, Reach, SlsError};
+use aurora_objstore::Oid;
 use aurora_posix::file::FileKind;
-use aurora_posix::{KError, Kernel, Pid};
+use aurora_posix::{Kernel, Pid};
 use aurora_sim::clock::Stopwatch;
 use aurora_vm::{PageSlot, PAGE_SIZE};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -80,7 +83,12 @@ pub struct CriuImage {
     pub procs: Vec<(u32, Option<u32>, String)>,
     /// Deduplicated descriptor table: inferred-shared description ids.
     pub shared_files: Vec<u64>,
-    /// Total serialized size.
+    /// Every reachable kernel object in the checkpoint record format,
+    /// produced by the same per-kind serializer registry the SLS
+    /// dispatches through (the image *format* is shared even though the
+    /// dump architecture is not).
+    pub os_records: Vec<Vec<u8>>,
+    /// Total serialized size (memory regions + OS-state records).
     pub bytes: u64,
 }
 
@@ -103,7 +111,7 @@ pub fn criu_restore(
     k: &mut Kernel,
     image: &CriuImage,
     costs: &CriuCosts,
-) -> Result<Vec<Pid>, KError> {
+) -> Result<Vec<Pid>, SlsError> {
     let clock = k.charge.clock().clone();
     let sw = Stopwatch::start(&clock);
     let mut new_pids: Vec<Pid> = Vec::new();
@@ -157,7 +165,7 @@ pub fn criu_dump(
     k: &mut Kernel,
     root: Pid,
     costs: &CriuCosts,
-) -> Result<(CriuStats, CriuImage), KError> {
+) -> Result<(CriuStats, CriuImage), SlsError> {
     let clock = k.charge.clock().clone();
     let mut stats = CriuStats::default();
     let mut image = CriuImage::default();
@@ -210,6 +218,35 @@ pub fn criu_dump(
                     }
                 }
             }
+        }
+    }
+
+    // Phase 2b: serialize every collected object through the same
+    // per-kind serializer registry the SLS checkpoint pipeline uses.
+    // Two passes: bind a synthetic OID per distinct object key, then
+    // encode (records cross-reference each other by OID). The walk and
+    // record format are shared with Aurora; only the surrounding
+    // architecture (stop-the-world, userspace inference) differs.
+    let registry = default_registry();
+    let reach = Reach::collect(k, &pids)?;
+    let collected: Vec<Vec<u64>> =
+        registry.iter().map(|s| s.collect(k, &reach)).collect::<Result<_, _>>()?;
+    let mut oids = OidMap::default();
+    let mut next_oid = 1u64;
+    for (ser, ids) in registry.iter().zip(&collected) {
+        for &id in ids {
+            let key = ser.key_of(k, id)?;
+            if oids.get(key).is_none() {
+                oids.bind(key, Oid(next_oid));
+                next_oid += 1;
+            }
+        }
+    }
+    for (ser, ids) in registry.iter().zip(&collected) {
+        for &id in ids {
+            let rec = ser.encode(k, id, &oids)?;
+            image.bytes += rec.len() as u64;
+            image.os_records.push(rec);
         }
     }
     stats.os_state_ns = sw_os.elapsed_ns();
@@ -308,7 +345,9 @@ mod tests {
         k.mem_write(p, addr, b"criu sees this").unwrap();
         let (stats, image) = criu_dump(&mut k, p, &CriuCosts::default()).unwrap();
         assert_eq!(stats.procs, 1);
-        assert_eq!(stats.image_bytes, 256 * PAGE_SIZE as u64);
+        let os_bytes: u64 = image.os_records.iter().map(|r| r.len() as u64).sum();
+        assert!(!image.os_records.is_empty(), "OS state serialized via the registry");
+        assert_eq!(stats.image_bytes, 256 * PAGE_SIZE as u64 + os_bytes);
         let regions = &image.memory[&p.0];
         assert_eq!(&regions[0].1[..14], b"criu sees this");
         // Memory copy dominates the stop (the Table 1 shape).

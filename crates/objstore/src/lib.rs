@@ -28,4 +28,4 @@ pub mod journal;
 pub mod store;
 
 pub use journal::JournalStats;
-pub use store::{CommitInfo, ObjectKind, ObjectStore, Oid, StoreError};
+pub use store::{CommitInfo, ObjectKind, ObjectStore, Oid, StoreError, PAGE};

@@ -466,6 +466,94 @@ impl ObjectStore {
         Ok(())
     }
 
+    /// Writes a batch of pages to one object as a single charged bulk
+    /// I/O.
+    ///
+    /// Semantically identical to calling [`write_page`] once per entry,
+    /// but physically-contiguous destination blocks (which the bump
+    /// allocator produces whenever the free list is empty) are issued as
+    /// single device writes, and the serialization cost is charged once
+    /// for the whole batch instead of once per page.
+    ///
+    /// [`write_page`]: ObjectStore::write_page
+    pub fn write_pages(&mut self, oid: Oid, pages: &[(u64, [u8; PAGE])]) -> Result<()> {
+        if pages.is_empty() {
+            return Ok(());
+        }
+        if !self.objects.contains_key(&oid.0) {
+            return Err(StoreError::NoSuchObject(oid));
+        }
+        // Place every page first so physically-adjacent blocks coalesce.
+        let mut placed: Vec<(u64, u64)> = Vec::with_capacity(pages.len()); // (block, pindex)
+        for (pindex, _) in pages {
+            placed.push((self.alloc_block()?, *pindex));
+        }
+        {
+            let mut dev = self.dev.lock();
+            let mut i = 0;
+            while i < placed.len() {
+                let start = i;
+                while i + 1 < placed.len() && placed[i + 1].0 == placed[i].0 + 1 {
+                    i += 1;
+                }
+                let mut buf = Vec::with_capacity((i - start + 1) * PAGE);
+                for (_, data) in &pages[start..=i] {
+                    buf.extend_from_slice(&data[..]);
+                }
+                let completion = dev
+                    .write(placed[start].0, &buf)
+                    .map_err(|e| StoreError::Device(e.to_string()))?;
+                self.dirty.max_completion = self.dirty.max_completion.max(completion.done_at);
+                i += 1;
+            }
+        }
+        self.charge.encode((pages.len() * PAGE) as u64);
+        let epoch = self.cur_epoch;
+        let o = self.objects.get_mut(&oid.0).expect("checked above");
+        let mut recycled = Vec::new();
+        for (&(block, pindex), _) in placed.iter().zip(pages) {
+            o.size = o.size.max((pindex + 1) * PAGE as u64);
+            let vs = o.versions.entry(pindex).or_default();
+            match vs.last_mut() {
+                Some((e, b)) if *e == epoch => {
+                    recycled.push(*b);
+                    *b = block;
+                }
+                _ => vs.push((epoch, block)),
+            }
+        }
+        self.free_blocks.extend(recycled);
+        self.dirty.objects.insert(oid.0);
+        Ok(())
+    }
+
+    /// Replaces the serialized metadata of many objects for the current
+    /// epoch, charging the serialization cost once for the whole batch.
+    ///
+    /// Per-object semantics match [`set_meta`] (same-epoch replacement,
+    /// identical-content deduplication). On error, entries preceding the
+    /// failing one have already been applied.
+    ///
+    /// [`set_meta`]: ObjectStore::set_meta
+    pub fn set_meta_batch(&mut self, items: &[(Oid, Vec<u8>)]) -> Result<()> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        let total: u64 = items.iter().map(|(_, m)| m.len() as u64).sum();
+        self.charge.encode(total);
+        let epoch = self.cur_epoch;
+        for (oid, meta) in items {
+            let o = self.objects.get_mut(&oid.0).ok_or(StoreError::NoSuchObject(*oid))?;
+            match o.meta.last_mut() {
+                Some((e, m)) if *e == epoch => *m = meta.clone(),
+                Some((_, m)) if m.as_slice() == meta.as_slice() => continue,
+                _ => o.meta.push((epoch, meta.clone())),
+            }
+            self.dirty.objects.insert(oid.0);
+        }
+        Ok(())
+    }
+
     // ------------------------------------------------------------------
     // Commit
     // ------------------------------------------------------------------
@@ -547,10 +635,10 @@ impl ObjectStore {
             let c1 = dev
                 .write_after(self.meta_head + 1, &padded, barrier)
                 .map_err(|e| StoreError::Device(e.to_string()))?;
-            let c2 = dev
+            
+            dev
                 .write_after(self.meta_head, &header_block, c1)
-                .map_err(|e| StoreError::Device(e.to_string()))?;
-            c2
+                .map_err(|e| StoreError::Device(e.to_string()))?
         };
         self.meta_head += 1 + nblocks;
         self.epochs.push(epoch);

@@ -1,14 +1,15 @@
-//! Property tests: the object store's crash consistency.
+//! Randomized tests: the object store's crash consistency.
 //!
 //! For any sequence of writes/commits and a crash at any point, recovery
 //! must expose exactly a committed prefix — never a torn checkpoint,
-//! never a lost durable one.
+//! never a lost durable one. Cases come from the in-tree deterministic
+//! PRNG so failures reproduce by seed.
 
 use aurora_objstore::{ObjectKind, ObjectStore, Oid};
 use aurora_sim::cost::Charge;
+use aurora_sim::rng::{DetRng, Rng};
 use aurora_sim::{Clock, CostModel};
 use aurora_storage::testbed_array;
-use proptest::prelude::*;
 
 fn fresh() -> ObjectStore {
     let clock = Clock::new();
@@ -16,28 +17,34 @@ fn fresh() -> ObjectStore {
     ObjectStore::format(dev, Charge::new(clock, CostModel::default()), 2048).unwrap()
 }
 
+/// Page contents of one object: pindex -> fill byte.
+type PageMap = std::collections::HashMap<u64, u8>;
+
 #[derive(Clone, Debug)]
 enum Op {
     Write { obj: usize, pindex: u64, fill: u8 },
     Commit { wait: bool },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (0..4usize, 0..16u64, any::<u8>())
-            .prop_map(|(obj, pindex, fill)| Op::Write { obj, pindex, fill }),
-        2 => any::<bool>().prop_map(|wait| Op::Commit { wait }),
-    ]
+fn gen_op(rng: &mut DetRng) -> Op {
+    if rng.gen_range(0..6) < 4 {
+        Op::Write {
+            obj: rng.gen_range(0..4) as usize,
+            pindex: rng.gen_range(0..16),
+            fill: rng.next_u64() as u8,
+        }
+    } else {
+        Op::Commit { wait: rng.gen_bool(0.5) }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn recovery_exposes_a_committed_prefix() {
+    let mut rng = DetRng::seed_from_u64(0xc4a5);
+    for _case in 0..48 {
+        let ops: Vec<Op> = (0..rng.gen_range(1..30)).map(|_| gen_op(&mut rng)).collect();
+        let crash_after = rng.gen_range(0..30) as usize;
 
-    #[test]
-    fn recovery_exposes_a_committed_prefix(
-        ops in prop::collection::vec(op_strategy(), 1..30),
-        crash_after in 0..30usize,
-    ) {
         let mut store = fresh();
         let oids: Vec<Oid> = (0..4)
             .map(|_| {
@@ -47,10 +54,8 @@ proptest! {
             })
             .collect();
         // Reference model: page contents per committed epoch.
-        let mut cur: Vec<std::collections::HashMap<u64, u8>> =
-            vec![Default::default(); 4];
-        let mut committed: Vec<(u64, Vec<std::collections::HashMap<u64, u8>>, bool)> =
-            Vec::new();
+        let mut cur: Vec<PageMap> = vec![Default::default(); 4];
+        let mut committed: Vec<(u64, Vec<PageMap>, bool)> = Vec::new();
 
         for (i, op) in ops.iter().enumerate() {
             if i == crash_after {
@@ -78,7 +83,7 @@ proptest! {
         let last = recovered.last_epoch().unwrap_or(0);
         let waited_max =
             committed.iter().filter(|(_, _, w)| *w).map(|(e, _, _)| *e).max().unwrap_or(0);
-        prop_assert!(last >= waited_max, "durable checkpoint {waited_max} lost (have {last})");
+        assert!(last >= waited_max, "durable checkpoint {waited_max} lost (have {last})");
         for (epoch, model, _) in &committed {
             if *epoch > last {
                 continue; // legitimately lost: never durable
@@ -86,7 +91,7 @@ proptest! {
             for (obj, pages) in model.iter().enumerate() {
                 for (&pindex, &fill) in pages {
                     let page = recovered.read_page(oids[obj], pindex, *epoch).unwrap();
-                    prop_assert!(
+                    assert!(
                         page.iter().all(|&b| b == fill),
                         "epoch {epoch} object {obj} page {pindex} corrupt"
                     );

@@ -103,6 +103,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn flag_presets() {
         assert!(OpenFlags::RDONLY.read && !OpenFlags::RDONLY.write);
         assert!(OpenFlags::RDWR.read && OpenFlags::RDWR.write);

@@ -12,7 +12,6 @@
 //! be restorable "after a reboot or on another machine" where the running
 //! system may differ (§4).
 
-use bytes::{BufMut, Bytes, BytesMut};
 use std::fmt;
 
 /// Errors produced while decoding.
@@ -85,7 +84,7 @@ pub type Result<T> = std::result::Result<T, CodecError>;
 /// ```
 #[derive(Debug, Default)]
 pub struct Encoder {
-    buf: BytesMut,
+    buf: Vec<u8>,
 }
 
 impl Encoder {
@@ -96,7 +95,7 @@ impl Encoder {
 
     /// Creates an encoder with `cap` bytes preallocated.
     pub fn with_capacity(cap: usize) -> Self {
-        Self { buf: BytesMut::with_capacity(cap) }
+        Self { buf: Vec::with_capacity(cap) }
     }
 
     /// Number of bytes written so far.
@@ -111,38 +110,38 @@ impl Encoder {
 
     /// Appends a `u8`.
     pub fn u8(&mut self, v: u8) {
-        self.buf.put_u8(v);
+        self.buf.push(v);
     }
 
     /// Appends a `u16` (little endian).
     pub fn u16(&mut self, v: u16) {
-        self.buf.put_u16_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends a `u32` (little endian).
     pub fn u32(&mut self, v: u32) {
-        self.buf.put_u32_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends a `u64` (little endian).
     pub fn u64(&mut self, v: u64) {
-        self.buf.put_u64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends an `i64` (little endian, two's complement).
     pub fn i64(&mut self, v: i64) {
-        self.buf.put_i64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends a `bool` as one byte.
     pub fn bool(&mut self, v: bool) {
-        self.buf.put_u8(v as u8);
+        self.buf.push(v as u8);
     }
 
     /// Appends a length-prefixed byte string.
     pub fn bytes(&mut self, v: &[u8]) {
         self.u32(v.len() as u32);
-        self.buf.put_slice(v);
+        self.buf.extend_from_slice(v);
     }
 
     /// Appends a length-prefixed UTF-8 string.
@@ -163,7 +162,7 @@ impl Encoder {
 
     /// Appends raw bytes with no length prefix (caller frames them).
     pub fn raw(&mut self, v: &[u8]) {
-        self.buf.put_slice(v);
+        self.buf.extend_from_slice(v);
     }
 
     /// Encodes a framed record: `tag, version, len, body`.
@@ -176,17 +175,17 @@ impl Encoder {
         self.u16(tag);
         self.u16(version);
         self.u32(body.len() as u32);
-        self.buf.put_slice(&body.buf);
+        self.buf.extend_from_slice(&body.buf);
     }
 
     /// Finishes encoding, returning the bytes.
-    pub fn finish(self) -> Bytes {
-        self.buf.freeze()
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
     }
 
     /// Finishes encoding, returning a `Vec<u8>`.
     pub fn finish_vec(self) -> Vec<u8> {
-        self.buf.to_vec()
+        self.buf
     }
 }
 

@@ -89,6 +89,9 @@ impl<E: Eq> Engine<E> {
     }
 
     /// Pops the next event, advancing the clock to its timestamp.
+    /// (Deliberately not an `Iterator`: popping advances the clock, and
+    /// callers interleave schedules between pops.)
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(u64, E)> {
         let Reverse(s) = self.heap.pop()?;
         self.clock.advance_to(s.at);

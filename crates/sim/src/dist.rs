@@ -8,17 +8,17 @@
 //! * **Zipfian key popularity** for the RocksDB `Prefix_dist` workload
 //!   (Cao et al., FAST'20): hot key prefixes follow a power law.
 //!
-//! `rand_distr` is not in the approved dependency list, so the samplers
+//! The container builds with no crates.io mirror, so the samplers
 //! (normal via Box–Muller, Pareto via inversion, Zipf via
-//! rejection-inversion) are implemented here.
+//! rejection-inversion) draw from the in-tree [`crate::rng`] generator.
 
-use rand::Rng;
+use crate::rng::Rng;
 
 /// Samples a standard normal via Box–Muller.
 fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     loop {
-        let u1: f64 = rng.gen::<f64>();
-        let u2: f64 = rng.gen::<f64>();
+        let u1: f64 = rng.gen_f64();
+        let u2: f64 = rng.gen_f64();
         if u1 > f64::MIN_POSITIVE {
             return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
         }
@@ -64,7 +64,7 @@ impl GeneralizedPareto {
 
     /// Draws one sample by inverse-CDF.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u: f64 = rng.gen_f64().max(f64::MIN_POSITIVE);
         if self.xi.abs() < 1e-12 {
             self.mu - self.sigma * u.ln()
         } else {
@@ -113,7 +113,7 @@ impl Zipf {
     /// Draws one rank in `[0, n)`; rank 0 is the most popular.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         loop {
-            let u = self.h_x1 + rng.gen::<f64>() * (self.h_n - self.h_x1);
+            let u = self.h_x1 + rng.gen_f64() * (self.h_n - self.h_x1);
             let x = self.h_inv(u);
             let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
             let h_k = if (self.s - 1.0).abs() < 1e-12 {
@@ -162,19 +162,18 @@ impl FacebookEtc {
 
     /// Returns true if the next operation should be a SET.
     pub fn is_set<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
-        rng.gen::<f64>() < self.set_fraction
+        rng.gen_f64() < self.set_fraction
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::DetRng;
 
     #[test]
     fn zipf_first_rank_is_most_popular() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = DetRng::seed_from_u64(7);
         let z = Zipf::new(1000, 0.99);
         let mut counts = vec![0u64; 1000];
         for _ in 0..200_000 {
@@ -186,7 +185,7 @@ mod tests {
 
     #[test]
     fn zipf_respects_bounds() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = DetRng::seed_from_u64(3);
         for n in [1u64, 2, 17, 100_000] {
             let z = Zipf::new(n, 1.2);
             for _ in 0..2000 {
@@ -197,7 +196,7 @@ mod tests {
 
     #[test]
     fn etc_sizes_match_published_means() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = DetRng::seed_from_u64(42);
         let etc = FacebookEtc::default();
         let n = 100_000;
         let key_mean: f64 =
@@ -211,7 +210,7 @@ mod tests {
 
     #[test]
     fn set_fraction_is_about_one_in_31() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let etc = FacebookEtc::default();
         let sets = (0..100_000).filter(|_| etc.is_set(&mut rng)).count();
         assert!((2200..4200).contains(&sets), "sets {sets}");
@@ -219,7 +218,7 @@ mod tests {
 
     #[test]
     fn lognormal_is_positive() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = DetRng::seed_from_u64(5);
         let ln = LogNormal::new(0.0, 1.0);
         for _ in 0..1000 {
             assert!(ln.sample(&mut rng) > 0.0);
@@ -228,7 +227,7 @@ mod tests {
 
     #[test]
     fn pareto_exceeds_location() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = DetRng::seed_from_u64(5);
         let gp = GeneralizedPareto::new(15.0, 214.476, 0.348);
         for _ in 0..1000 {
             assert!(gp.sample(&mut rng) >= 15.0);

@@ -17,16 +17,22 @@
 //!   on-disk record in the object store and for checkpoint serialization.
 //! * [`dist`] — deterministic workload distributions (Zipf, the Facebook
 //!   ETC key/value size mixtures).
+//! * [`rng`] — the in-tree deterministic PRNG those distributions draw
+//!   from (no external dependency, bit-stable across builds).
+//! * [`sync`] — lock wrappers with non-poisoning `lock()` ergonomics.
 
 pub mod clock;
 pub mod codec;
 pub mod cost;
 pub mod des;
 pub mod dist;
+pub mod rng;
 pub mod stats;
+pub mod sync;
 pub mod units;
 
 pub use clock::Clock;
 pub use codec::{Decoder, Encoder};
 pub use cost::CostModel;
+pub use rng::{DetRng, Rng};
 pub use stats::Histogram;

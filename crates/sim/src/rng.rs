@@ -1,0 +1,130 @@
+//! A small deterministic PRNG.
+//!
+//! The simulation must be bit-reproducible across machines and builds, so
+//! all randomness flows through this in-tree generator instead of an
+//! external crate: xoshiro256++ (Blackman & Vigna) seeded via splitmix64.
+//! Quality is far beyond what workload generation needs, and the
+//! implementation is a dozen lines that never changes underneath us.
+
+/// A source of pseudo-random numbers.
+///
+/// Distributions in [`crate::dist`] are generic over this trait so tests
+/// can substitute counting or constant generators.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform `f64` in `[0, 1)` (53 mantissa bits).
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `u64` in `[range.start, range.end)`.
+    ///
+    /// Panics if the range is empty. Uses Lemire's multiply-shift
+    /// rejection method, so the result is unbiased.
+    fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "gen_range on empty range");
+        let span = range.end - range.start;
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let m = (self.next_u64() as u128).wrapping_mul(span as u128);
+            if (m as u64) >= threshold {
+                return range.start + (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// A Bernoulli draw: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+}
+
+/// The deterministic generator used throughout the reproduction:
+/// xoshiro256++ seeded from a single `u64` via splitmix64.
+#[derive(Clone, Debug)]
+pub struct DetRng {
+    s: [u64; 4],
+}
+
+impl DetRng {
+    /// Seeds the generator deterministically from `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Self { s: [next(), next(), next(), next()] }
+    }
+}
+
+impl Rng for DetRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::seed_from_u64(7);
+        let mut b = DetRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::seed_from_u64(1);
+        let mut b = DetRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should diverge, {same}/32 collided");
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut r = DetRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = r.gen_f64();
+            assert!((0.0..1.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds_and_covers() {
+        let mut r = DetRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = r.gen_range(5..15);
+            assert!((5..15).contains(&v), "{v}");
+            seen[(v - 5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values should appear: {seen:?}");
+    }
+
+    #[test]
+    fn gen_f64_is_roughly_uniform() {
+        let mut r = DetRng::seed_from_u64(3);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.gen_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -30,7 +30,7 @@ pub fn fmt_ns(ns: u64) -> String {
 
 /// Formats a byte count (`4 KiB`, `256 MiB`, `1 GiB`).
 pub fn fmt_bytes(bytes: u64) -> String {
-    if bytes >= GIB && bytes % GIB == 0 {
+    if bytes >= GIB && bytes.is_multiple_of(GIB) {
         format!("{} GiB", bytes / GIB)
     } else if bytes >= MIB {
         format!("{} MiB", bytes / MIB)

@@ -1,7 +1,7 @@
 //! The block device interface.
 
 use aurora_sim::Clock;
-use parking_lot::Mutex;
+use aurora_sim::sync::Mutex;
 use std::fmt;
 use std::sync::Arc;
 

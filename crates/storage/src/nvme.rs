@@ -162,7 +162,7 @@ impl BlockDevice for NvmeDevice {
     }
 
     fn write(&mut self, lba: u64, data: &[u8]) -> Result<Completion> {
-        if data.is_empty() || data.len() % BLOCK_SIZE != 0 {
+        if data.is_empty() || !data.len().is_multiple_of(BLOCK_SIZE) {
             return Err(DeviceError::Misaligned { len: data.len(), block_size: BLOCK_SIZE });
         }
         let nblocks = (data.len() / BLOCK_SIZE) as u64;
@@ -184,7 +184,7 @@ impl BlockDevice for NvmeDevice {
     }
 
     fn write_after(&mut self, lba: u64, data: &[u8], after: Completion) -> Result<Completion> {
-        if data.is_empty() || data.len() % BLOCK_SIZE != 0 {
+        if data.is_empty() || !data.len().is_multiple_of(BLOCK_SIZE) {
             return Err(DeviceError::Misaligned { len: data.len(), block_size: BLOCK_SIZE });
         }
         let nblocks = (data.len() / BLOCK_SIZE) as u64;

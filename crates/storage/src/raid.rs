@@ -106,7 +106,7 @@ impl BlockDevice for Raid0 {
     }
 
     fn write(&mut self, lba: u64, data: &[u8]) -> Result<Completion> {
-        if data.is_empty() || data.len() % self.block_size != 0 {
+        if data.is_empty() || !data.len().is_multiple_of(self.block_size) {
             return Err(DeviceError::Misaligned { len: data.len(), block_size: self.block_size });
         }
         let nblocks = (data.len() / self.block_size) as u64;
@@ -124,7 +124,7 @@ impl BlockDevice for Raid0 {
     }
 
     fn write_after(&mut self, lba: u64, data: &[u8], after: Completion) -> Result<Completion> {
-        if data.is_empty() || data.len() % self.block_size != 0 {
+        if data.is_empty() || !data.len().is_multiple_of(self.block_size) {
             return Err(DeviceError::Misaligned { len: data.len(), block_size: self.block_size });
         }
         let nblocks = (data.len() / self.block_size) as u64;

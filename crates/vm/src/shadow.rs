@@ -256,16 +256,16 @@ impl Vm {
                 {
                     let m = self.objects.get_mut(&middle).expect("exists");
                     for (pindex, slot) in parent_pages {
-                        if m.pages.contains_key(&pindex) {
+                        if let std::collections::btree_map::Entry::Vacant(e) = m.pages.entry(pindex) {
+                            e.insert(slot);
+                            moved += 1;
+                        } else {
                             // The shadow's version wins; the parent's page
                             // is stale.
                             if let PageSlot::Resident { frame, .. } = slot {
                                 stale_frames.push(frame);
                             }
                             replaced += 1;
-                        } else {
-                            m.pages.insert(pindex, slot);
-                            moved += 1;
                         }
                     }
                     m.backer = grandparent;

@@ -7,8 +7,8 @@
 //! optimizations — no interleaving may ever change the bytes a process
 //! reads.
 
+use aurora_sim::rng::{DetRng, Rng};
 use aurora_vm::{CollapseMode, Prot, SpaceId, Vm, PAGE_SIZE};
-use proptest::prelude::*;
 
 const PAGES: u64 = 16;
 const BYTES: usize = PAGES as usize * PAGE_SIZE;
@@ -25,14 +25,19 @@ enum Op {
     Collapse { forward: bool },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        6 => (any::<prop::sample::Index>(), 0..BYTES - 64, 1..64usize, any::<u8>())
-            .prop_map(|(who, off, len, val)| Op::Write { who: who.index(64), off, len, val }),
-        1 => any::<prop::sample::Index>().prop_map(|who| Op::Fork { who: who.index(64) }),
-        2 => Just(Op::SystemShadow),
-        2 => any::<bool>().prop_map(|forward| Op::Collapse { forward }),
-    ]
+fn gen_op(rng: &mut DetRng) -> Op {
+    // Weights 6/1/2/2, matching the original generator.
+    match rng.gen_range(0..11) {
+        0..=5 => Op::Write {
+            who: rng.gen_range(0..64) as usize,
+            off: rng.gen_range(0..(BYTES - 64) as u64) as usize,
+            len: rng.gen_range(1..64) as usize,
+            val: rng.next_u64() as u8,
+        },
+        6 => Op::Fork { who: rng.gen_range(0..64) as usize },
+        7 | 8 => Op::SystemShadow,
+        _ => Op::Collapse { forward: rng.gen_bool(0.5) },
+    }
 }
 
 /// Runs the ops against the VM and a flat model, checking reads at the
@@ -98,11 +103,11 @@ fn run(ops: Vec<Op>) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn vm_matches_flat_model(ops in prop::collection::vec(op_strategy(), 1..40)) {
+#[test]
+fn vm_matches_flat_model() {
+    let mut rng = DetRng::seed_from_u64(0x5105);
+    for _case in 0..64 {
+        let ops: Vec<Op> = (0..rng.gen_range(1..40)).map(|_| gen_op(&mut rng)).collect();
         run(ops);
     }
 }

@@ -3,8 +3,7 @@
 
 use aurora_fs::{Result, SimFs};
 use aurora_sim::units::{GIB, KIB, SEC};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use aurora_sim::rng::{DetRng, Rng};
 
 /// Result of one personality run.
 #[derive(Clone, Debug)]
@@ -45,7 +44,7 @@ pub fn write_bench(
     random: bool,
     seed: u64,
 ) -> Result<BenchResult> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     fs.create(1)?;
     let t0 = fs.clock().now();
     let blocks = total / block;
@@ -81,7 +80,7 @@ pub fn fsync_bench(fs: &mut dyn SimFs, block: u64, n: u64) -> Result<BenchResult
 /// Figure 3(d): the fileserver personality — create/append/read/delete
 /// over a working set of whole files.
 pub fn fileserver(fs: &mut dyn SimFs, files: u64, iterations: u64, seed: u64) -> Result<BenchResult> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     for i in 0..files {
         fs.create(i)?;
         fs.write(i, 0, 128 * KIB)?;
@@ -110,7 +109,7 @@ pub fn fileserver(fs: &mut dyn SimFs, files: u64, iterations: u64, seed: u64) ->
 /// Figure 3(d): the varmail personality — small writes with fsync after
 /// each (mail spool), the workload where checkpoint consistency wins.
 pub fn varmail(fs: &mut dyn SimFs, files: u64, iterations: u64, seed: u64) -> Result<BenchResult> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     for i in 0..files {
         fs.create(i)?;
     }
@@ -132,7 +131,7 @@ pub fn varmail(fs: &mut dyn SimFs, files: u64, iterations: u64, seed: u64) -> Re
 
 /// Figure 3(d): the webserver personality — read-heavy with a log append.
 pub fn webserver(fs: &mut dyn SimFs, files: u64, iterations: u64, seed: u64) -> Result<BenchResult> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     for i in 0..files {
         fs.create(i)?;
         fs.write(i, 0, 64 * KIB)?;

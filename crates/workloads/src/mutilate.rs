@@ -4,8 +4,7 @@
 //! machine, each with 12 threads × 12 connections (§9.5).
 
 use aurora_sim::dist::FacebookEtc;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use aurora_sim::rng::DetRng;
 
 /// One Memcached operation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -57,17 +56,17 @@ impl MutilateConfig {
 pub struct Mutilate {
     cfg: MutilateConfig,
     etc: FacebookEtc,
-    rng: StdRng,
+    rng: DetRng,
 }
 
 impl Mutilate {
     /// Creates a generator.
     pub fn new(cfg: MutilateConfig) -> Self {
-        Self { cfg, etc: FacebookEtc::default(), rng: StdRng::seed_from_u64(cfg.seed) }
+        Self { cfg, etc: FacebookEtc::default(), rng: DetRng::seed_from_u64(cfg.seed) }
     }
 
     fn key(&mut self) -> Vec<u8> {
-        use rand::Rng;
+        use aurora_sim::rng::Rng;
         let id: u64 = self.rng.gen_range(0..self.cfg.keyspace);
         let len = self.etc.key_bytes(&mut self.rng);
         let mut key = format!("key-{id:016x}").into_bytes();

@@ -3,8 +3,7 @@
 //! with a get-heavy mix and range scans.
 
 use aurora_sim::dist::{GeneralizedPareto, Zipf};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use aurora_sim::rng::{DetRng, Rng};
 
 /// One RocksDB operation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -64,7 +63,7 @@ pub struct PrefixDist {
     cfg: PrefixDistConfig,
     prefix_zipf: Zipf,
     value_size: GeneralizedPareto,
-    rng: StdRng,
+    rng: DetRng,
 }
 
 impl PrefixDist {
@@ -75,7 +74,7 @@ impl PrefixDist {
             prefix_zipf: Zipf::new(cfg.prefixes, 0.99),
             // FAST'20 value sizes: mean ~400 B with a heavy tail.
             value_size: GeneralizedPareto::new(35.0, 250.0, 0.3),
-            rng: StdRng::seed_from_u64(cfg.seed),
+            rng: DetRng::seed_from_u64(cfg.seed),
         }
     }
 
@@ -87,7 +86,7 @@ impl PrefixDist {
 
     /// Draws the next operation.
     pub fn next_op(&mut self) -> KvOp {
-        let r: f64 = self.rng.gen();
+        let r: f64 = self.rng.gen_f64();
         let key = self.key();
         if r < self.cfg.get_fraction {
             KvOp::Get { key }
@@ -95,7 +94,7 @@ impl PrefixDist {
             let value_len = (self.value_size.sample(&mut self.rng) as usize).clamp(16, 64 * 1024);
             KvOp::Put { key, value_len }
         } else {
-            KvOp::Seek { key, entries: self.rng.gen_range(4..64) }
+            KvOp::Seek { key, entries: self.rng.gen_range(4..64) as usize }
         }
     }
 }
