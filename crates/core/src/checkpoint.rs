@@ -9,11 +9,25 @@ use aurora_posix::{Kernel, Pid, Tid};
 use aurora_vm::{ObjId, ObjKind};
 use std::collections::{BTreeSet, VecDeque};
 
+/// Where and why a checkpoint gave up: the failing stage, how many
+/// attempts it got (retries included), and the final error. Recorded in
+/// [`CheckpointStats::failure`] when a checkpoint aborts after
+/// exhausting its retries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageFailure {
+    /// The pipeline stage that failed ("flush", "commit").
+    pub stage: &'static str,
+    /// Attempts made before giving up (first try + retries).
+    pub attempts: u32,
+    /// The error the final attempt returned.
+    pub cause: SlsError,
+}
+
 /// What one checkpoint did and cost, with the per-stage breakdown of
 /// the pipeline. The first six stage timings sum exactly to
 /// [`stop_time_ns`](CheckpointStats::stop_time_ns); all nine sum to
 /// [`stage_total_ns`](CheckpointStats::stage_total_ns).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CheckpointStats {
     /// Store epoch of this checkpoint.
     pub epoch: u64,
@@ -50,9 +64,19 @@ pub struct CheckpointStats {
     pub bytes_flushed: u64,
     /// Virtual time at which the checkpoint is durable.
     pub durable_at: u64,
+    /// Transient-error retries spent across the device-facing stages.
+    pub retries: u32,
+    /// Set when the checkpoint aborted after exhausting retries. The
+    /// live world was rolled back and stays checkpointable; `epoch` and
+    /// `durable_at` are meaningless when this is `Some`.
+    pub failure: Option<StageFailure>,
 }
 
 impl CheckpointStats {
+    /// True when this checkpoint committed an epoch (no failure).
+    pub fn committed(&self) -> bool {
+        self.failure.is_none()
+    }
     /// The nine pipeline stages with their timings, pipeline order.
     pub fn stages(&self) -> [(&'static str, u64); 9] {
         [

@@ -26,6 +26,15 @@ pub enum SlsError {
     Codec(CodecError),
 }
 
+impl SlsError {
+    /// True when retrying the failed operation may succeed: a transient
+    /// device error surfaced through the store layer. Everything else
+    /// (corrupt images, missing objects, kernel errors) is permanent.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SlsError::Store(e) if e.is_transient())
+    }
+}
+
 impl fmt::Display for SlsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

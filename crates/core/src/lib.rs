@@ -40,7 +40,7 @@ pub mod swap;
 pub mod world;
 
 pub use api::AuroraApi;
-pub use checkpoint::{CheckpointStats, Reach};
+pub use checkpoint::{CheckpointStats, Reach, StageFailure};
 pub use error::SlsError;
 pub use pipeline::CheckpointPipeline;
 pub use registry::{default_registry, KObjKind, Serializer, SerializerRegistry};

@@ -85,8 +85,9 @@ impl KObj {
     }
 }
 
-/// The per-group mapping.
-#[derive(Debug, Default)]
+/// The per-group mapping. Cloneable so the checkpoint pipeline can
+/// snapshot it before OID assignment and roll back on abort.
+#[derive(Clone, Debug, Default)]
 pub struct OidMap {
     map: HashMap<KObj, Oid>,
 }

@@ -10,16 +10,25 @@
 //! [`SerializerRegistry`] — the pipeline knows *when* to serialize, the
 //! registry knows *how* each object kind does.
 
-use crate::checkpoint::{CheckpointStats, Reach};
+use crate::checkpoint::{CheckpointStats, Reach, StageFailure};
+use crate::oidmap::OidMap;
 use crate::registry::{AssignCtx, FlushCtx, KObjKind, SerializerRegistry};
 use crate::serial;
-use crate::{GroupId, SealedBatch, Sls, SlsError};
+use crate::{GroupId, LineageBinding, SealedBatch, Sls, SlsError};
 use aurora_objstore::{CommitInfo, Oid};
-use aurora_posix::Pid;
+use aurora_posix::{Pid, VnodeId};
 use aurora_sim::clock::Stopwatch;
-use aurora_vm::{CollapseMode, SpaceId};
+use aurora_vm::{CollapseMode, ObjId, SpaceId};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
+
+/// Attempts a device-facing stage gets (first try + retries) before the
+/// checkpoint aborts and rolls back.
+const MAX_ATTEMPTS: u32 = 4;
+
+/// Backoff before retry `k` is `BACKOFF_BASE_NS << (k - 1)`, charged to
+/// the virtual clock — deterministic, and visible in the stage timings.
+const BACKOFF_BASE_NS: u64 = 50_000;
 
 /// Output of the Quiesce stage: the frozen membership.
 pub struct Quiesced {
@@ -51,6 +60,14 @@ pub struct FlushOut {
     pub bytes_flushed: u64,
 }
 
+/// Live-world state the checkpoint mutates before anything commits,
+/// captured before the Serialize stage so an abort can restore it.
+struct Snapshot {
+    oidmap: OidMap,
+    vnode_hash: HashMap<VnodeId, u64>,
+    lineages: HashMap<u64, LineageBinding>,
+}
+
 /// One checkpoint, as an explicit staged pipeline over a group.
 pub struct CheckpointPipeline<'a> {
     sls: &'a mut Sls,
@@ -60,6 +77,10 @@ pub struct CheckpointPipeline<'a> {
     pids: Vec<Pid>,
     persist: Vec<Pid>,
     full: bool,
+    /// Pages flush attempts marked clean, kept across retries: an abort
+    /// must re-dirty them because their "durable" copies die with the
+    /// rolled-back epoch.
+    cleaned_pages: Vec<(ObjId, u64)>,
 }
 
 impl<'a> CheckpointPipeline<'a> {
@@ -83,11 +104,28 @@ impl<'a> CheckpointPipeline<'a> {
         sls.kernel.charge.clock().advance_to(pending);
         let full = sls.groups[&gid].epochs.is_empty();
         let registry = sls.registry.clone();
-        Ok(Self { sls, gid, registry, collapse_mode, pids, persist, full })
+        Ok(Self {
+            sls,
+            gid,
+            registry,
+            collapse_mode,
+            pids,
+            persist,
+            full,
+            cleaned_pages: Vec::new(),
+        })
     }
 
     /// Runs every stage in order and assembles the stats. Stage timings
     /// are cumulative marks off one stopwatch, so they sum exactly.
+    ///
+    /// The device-facing stages (Flush, Commit) get [`MAX_ATTEMPTS`]
+    /// tries with exponential backoff for transient device errors; a
+    /// stage that still fails aborts the checkpoint — the uncommitted
+    /// epoch is discarded and the live world rolled back — and the
+    /// failure is reported in [`CheckpointStats::failure`] rather than
+    /// as an `Err`: the machine keeps running and the next checkpoint
+    /// starts clean.
     pub fn run(mut self) -> Result<CheckpointStats, SlsError> {
         let clock = self.sls.kernel.charge.clock().clone();
         let sw = Stopwatch::start(&clock);
@@ -105,6 +143,9 @@ impl<'a> CheckpointPipeline<'a> {
         stats.collapse_ns = mark(&mut last, sw.elapsed_ns());
         self.aio_drain(&q)?;
         stats.aio_ns = mark(&mut last, sw.elapsed_ns());
+        // Serialize is the first stage that mutates shared state (OID
+        // assignment, lineage bindings); snapshot just before it.
+        let snap = self.snapshot()?;
         let s = self.serialize(&q)?;
         stats.os_state_ns = mark(&mut last, sw.elapsed_ns());
         self.shadow(&q, &s)?;
@@ -113,11 +154,23 @@ impl<'a> CheckpointPipeline<'a> {
         stats.resume_ns = mark(&mut last, sw.elapsed_ns());
         stats.stop_time_ns = last;
 
-        let f = self.flush(&s)?;
+        let f = match self.with_retry(&mut stats, |p| p.flush(&s)) {
+            Ok(f) => f,
+            Err((attempts, cause)) => {
+                stats.flush_ns = mark(&mut last, sw.elapsed_ns());
+                return self.abort(stats, "flush", attempts, cause, snap);
+            }
+        };
         stats.flush_ns = mark(&mut last, sw.elapsed_ns());
         let sealed = self.seal()?;
         stats.seal_ns = mark(&mut last, sw.elapsed_ns());
-        let info = self.commit(sealed)?;
+        let info = match self.with_retry(&mut stats, |p| p.commit(sealed.clone())) {
+            Ok(i) => i,
+            Err((attempts, cause)) => {
+                stats.commit_ns = mark(&mut last, sw.elapsed_ns());
+                return self.abort(stats, "commit", attempts, cause, snap);
+            }
+        };
         stats.commit_ns = mark(&mut last, sw.elapsed_ns());
 
         stats.epoch = info.epoch;
@@ -126,6 +179,71 @@ impl<'a> CheckpointPipeline<'a> {
         stats.pages_flushed = f.pages_flushed;
         stats.bytes_flushed = f.bytes_flushed;
         stats.durable_at = info.durable_at;
+        Ok(stats)
+    }
+
+    /// Captures the live-world state the later stages mutate.
+    fn snapshot(&self) -> Result<Snapshot, SlsError> {
+        let g = self.sls.groups.get(&self.gid).ok_or(SlsError::NoSuchGroup(self.gid))?;
+        Ok(Snapshot {
+            oidmap: g.oidmap.clone(),
+            vnode_hash: g.vnode_hash.clone(),
+            lineages: self.sls.lineage_oids.lock().clone(),
+        })
+    }
+
+    /// Runs `op` up to [`MAX_ATTEMPTS`] times, retrying only transient
+    /// device errors, with deterministic exponential backoff charged to
+    /// the virtual clock. Returns the final error with the attempt
+    /// count once retries are exhausted (or immediately for permanent
+    /// errors).
+    fn with_retry<T>(
+        &mut self,
+        stats: &mut CheckpointStats,
+        mut op: impl FnMut(&mut Self) -> Result<T, SlsError>,
+    ) -> Result<T, (u32, SlsError)> {
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match op(self) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transient() && attempts < MAX_ATTEMPTS => {
+                    stats.retries += 1;
+                    self.sls.kernel.charge.raw(BACKOFF_BASE_NS << (attempts - 1));
+                }
+                Err(e) => return Err((attempts, e)),
+            }
+        }
+    }
+
+    /// Rolls the live world back after a stage exhausted its retries:
+    /// the store's uncommitted epoch is discarded (its staged blocks
+    /// freed, the epoch number reusable), the group's OID map and vnode
+    /// fingerprints and the pager's lineage bindings revert to their
+    /// pre-serialize snapshot, and every page a flush attempt marked
+    /// clean is dirtied again. The failed checkpoint is reported via
+    /// [`CheckpointStats::failure`]; nothing of it remains visible.
+    fn abort(
+        mut self,
+        mut stats: CheckpointStats,
+        stage: &'static str,
+        attempts: u32,
+        cause: SlsError,
+        snap: Snapshot,
+    ) -> Result<CheckpointStats, SlsError> {
+        self.sls.store.lock().abort_epoch();
+        if let Some(g) = self.sls.groups.get_mut(&self.gid) {
+            g.oidmap = snap.oidmap;
+            g.vnode_hash = snap.vnode_hash;
+        }
+        *self.sls.lineage_oids.lock() = snap.lineages;
+        for (obj, pi) in std::mem::take(&mut self.cleaned_pages) {
+            // The page may have been shadowed since it was flushed; a
+            // non-resident slot has nothing to re-dirty (the dirty copy
+            // lives elsewhere in the chain).
+            let _ = self.sls.kernel.vm.mark_dirty(obj, pi);
+        }
+        stats.failure = Some(StageFailure { stage, attempts, cause });
         Ok(stats)
     }
 
@@ -274,12 +392,23 @@ impl<'a> CheckpointPipeline<'a> {
             vnode_hash: &mut g.vnode_hash,
             pages_flushed: 0,
             bytes_flushed: 0,
+            cleaned: Vec::new(),
         };
+        // No `?` inside the hook loop: pages a partial flush marked
+        // clean must reach `cleaned_pages` even when a later hook fails,
+        // or an abort could not re-dirty them.
+        let mut hook_res = Ok(());
         for ser in self.registry.iter() {
-            ser.flush(&mut ctx)?;
+            hook_res = ser.flush(&mut ctx);
+            if hook_res.is_err() {
+                break;
+            }
         }
         out.pages_flushed += ctx.pages_flushed;
         out.bytes_flushed += ctx.bytes_flushed;
+        let cleaned = ctx.cleaned;
+        self.cleaned_pages.extend(cleaned);
+        hook_res?;
 
         // The manifest, every checkpoint (the tree may have changed).
         let manifest = serial::ManifestRecord {

@@ -100,6 +100,10 @@ pub struct FlushCtx<'a> {
     pub pages_flushed: u64,
     /// Running count of data bytes flushed (updated by hooks).
     pub bytes_flushed: u64,
+    /// Every (object, page) a hook marked clean. The pipeline keeps this
+    /// across retries so an aborted checkpoint can re-dirty the pages —
+    /// their "durable" copies die with the rolled-back epoch.
+    pub cleaned: Vec<(aurora_vm::ObjId, u64)>,
 }
 
 /// Transient state while rebuilding one image: restored kernel ids per

@@ -311,7 +311,8 @@ impl Serializer for VnodeSer {
     /// Reflushes changed regular-file contents as one batched page write
     /// per vnode.
     fn flush(&self, ctx: &mut FlushCtx<'_>) -> Result<(), SlsError> {
-        let FlushCtx { kernel, store, oids, reach, vnode_hash, pages_flushed, bytes_flushed } = ctx;
+        let FlushCtx { kernel, store, oids, reach, vnode_hash, pages_flushed, bytes_flushed, .. } =
+            ctx;
         for &v in &reach.vnodes {
             let vn = kernel.vfs.vnode(VnodeId(v))?;
             let VnodeKind::Regular { data } = &vn.kind else { continue };

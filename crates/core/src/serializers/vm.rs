@@ -57,7 +57,8 @@ impl Serializer for MemSer {
     /// the newer version lands last and wins in the store. Each object's
     /// pages go out as one charged bulk write.
     fn flush(&self, ctx: &mut FlushCtx<'_>) -> Result<(), SlsError> {
-        let FlushCtx { kernel, store, oids, reach, pages_flushed, bytes_flushed, .. } = ctx;
+        let FlushCtx { kernel, store, oids, reach, pages_flushed, bytes_flushed, cleaned, .. } =
+            ctx;
         for &obj in reach.mem_objs.iter().rev() {
             if matches!(kernel.vm.object(obj)?.kind, ObjKind::Device { .. }) {
                 continue; // device pages are re-injected at restore (§5.3)
@@ -82,6 +83,7 @@ impl Serializer for MemSer {
             store.write_pages(oid, &batch)?;
             for &pi in &dirty {
                 kernel.vm.mark_clean(obj, pi)?;
+                cleaned.push((obj, pi));
             }
             *pages_flushed += batch.len() as u64;
             *bytes_flushed += (batch.len() * PAGE) as u64;

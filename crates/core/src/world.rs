@@ -6,7 +6,8 @@ use aurora_objstore::ObjectStore;
 use aurora_posix::{Kernel, Pid};
 use aurora_sim::cost::Charge;
 use aurora_sim::{Clock, CostModel};
-use aurora_storage::testbed_array;
+use aurora_storage::faulty::{FaultHandle, FaultPlan};
+use aurora_storage::{faulty_testbed_array, testbed_array};
 use aurora_vm::{Prot, PAGE_SIZE};
 
 /// A simulated machine running the Aurora single level store.
@@ -34,6 +35,19 @@ impl World {
         let store = ObjectStore::format(dev, Charge::new(clock.clone(), model), 64 * 1024)
             .expect("format fresh store");
         Self { sls: Sls::new(kernel, store), clock }
+    }
+
+    /// Boots with `bytes` per store device behind a fault-injecting
+    /// device wrapper, returning the handle that arms and inspects the
+    /// fault plan (crash-recovery and degraded-mode tests).
+    pub fn with_faulty_store(bytes: u64, plan: FaultPlan) -> (Self, FaultHandle) {
+        let clock = Clock::new();
+        let model = CostModel::default();
+        let kernel = Kernel::new(clock.clone(), model.clone());
+        let (dev, handle) = faulty_testbed_array(&clock, bytes, plan);
+        let store = ObjectStore::format(dev, Charge::new(clock.clone(), model), 64 * 1024)
+            .expect("format fresh store");
+        (Self { sls: Sls::new(kernel, store), clock }, handle)
     }
 
     /// Spawns a toy application: one process with a 16-page counter

@@ -1,0 +1,158 @@
+//! Checkpoint-pipeline behavior under injected device faults: bounded
+//! retry with deterministic backoff for transient errors, and a clean
+//! abort — live world rolled back, next checkpoint succeeds — when the
+//! retries are exhausted.
+
+use aurora_core::world::World;
+use aurora_core::{AuroraApi, RestoreMode, SlsOptions};
+use aurora_storage::faulty::FaultPlan;
+
+const STORE_BYTES: u64 = 1 << 28;
+
+/// One transient device error during the Flush stage is absorbed by the
+/// retry policy: the checkpoint commits, and the retry shows up in the
+/// stats.
+#[test]
+fn transient_flush_error_is_retried_and_commits() {
+    let (mut w, handle) = World::with_faulty_store(STORE_BYTES, FaultPlan::none());
+    let pid = w.spawn_counter_app();
+    for _ in 0..3 {
+        w.bump_counter(pid).unwrap();
+    }
+    let gid = w.sls.attach(pid, SlsOptions::default()).unwrap();
+
+    // Fail the checkpoint's first device write (the dirty-page flush)
+    // exactly once.
+    let mut plan = FaultPlan::none();
+    plan.transient_writes.insert(handle.writes_seen());
+    handle.set_plan(plan);
+
+    let before = w.clock.now();
+    let cp = w.sls.sls_checkpoint(gid).unwrap();
+    assert!(cp.committed(), "one transient error must not fail the checkpoint");
+    assert_eq!(cp.failure, None);
+    assert_eq!(cp.retries, 1, "exactly one retry spent");
+    assert!(cp.epoch > 0);
+    assert!(cp.pages_flushed > 0, "the retried flush still wrote the pages");
+    assert!(w.clock.now() > before, "backoff is charged to the virtual clock");
+
+    // The image is intact end to end.
+    let r = w.sls.sls_restore(gid, None, RestoreMode::Full).unwrap();
+    assert_eq!(w.read_counter(r.pids[0]).unwrap(), 3);
+}
+
+/// A wedged device (every write fails) exhausts the retry budget in the
+/// Flush stage. The checkpoint aborts cleanly: `Ok` with the failure
+/// recorded — stage, attempts, and cause — instead of an `Err`, no
+/// epoch is consumed, and once the device recovers the next checkpoint
+/// commits the same state.
+#[test]
+fn exhausted_flush_retries_abort_and_next_checkpoint_succeeds() {
+    let (mut w, handle) = World::with_faulty_store(STORE_BYTES, FaultPlan::none());
+    let pid = w.spawn_counter_app();
+    w.bump_counter(pid).unwrap();
+    let gid = w.sls.attach(pid, SlsOptions::default()).unwrap();
+
+    handle.set_plan(FaultPlan {
+        fail_writes_from: Some(handle.writes_seen()),
+        ..FaultPlan::none()
+    });
+    let failed = w.sls.sls_checkpoint(gid).unwrap();
+    let f = failed.failure.as_ref().expect("checkpoint must report its failure");
+    assert!(!failed.committed());
+    assert_eq!(f.stage, "flush", "dirty pages make flush the failing stage");
+    assert_eq!(f.attempts, 4, "first try plus three retries");
+    assert_eq!(failed.retries, 3);
+    assert!(f.cause.is_transient(), "the recorded cause is the device error");
+
+    // The live world is untouched and still running.
+    assert_eq!(w.read_counter(pid).unwrap(), 1);
+    w.bump_counter(pid).unwrap();
+
+    // Device recovers; the next checkpoint starts clean and commits.
+    handle.clear_faults();
+    let cp = w.sls.sls_checkpoint(gid).unwrap();
+    assert!(cp.committed());
+    assert!(cp.full, "the aborted checkpoint left no epoch behind");
+    assert!(cp.pages_flushed > 0, "rolled-back pages are dirty again and flush now");
+
+    let r = w.sls.sls_restore(gid, None, RestoreMode::Full).unwrap();
+    assert_eq!(w.read_counter(r.pids[0]).unwrap(), 2);
+}
+
+/// When nothing is dirty the only device write is the commit record, so
+/// a wedged device fails the Commit stage. The abort re-dirties the
+/// pages cleaned by the (successful) earlier flush of a previous run,
+/// rolls back the store's staged epoch, and the epoch number is not
+/// consumed: the post-recovery checkpoint gets the very next epoch.
+#[test]
+fn exhausted_commit_retries_abort_without_consuming_an_epoch() {
+    let (mut w, handle) = World::with_faulty_store(STORE_BYTES, FaultPlan::none());
+    let pid = w.spawn_counter_app();
+    w.bump_counter(pid).unwrap();
+    let gid = w.sls.attach(pid, SlsOptions::default()).unwrap();
+    let cp1 = w.sls.sls_checkpoint(gid).unwrap();
+    assert!(cp1.committed());
+
+    // Dirty two pages — the counter, and a marker the application never
+    // writes again, so the *only* copy of the marker rides on the pages
+    // the failed checkpoint flushes. Let both page writes succeed, then
+    // wedge the device: the commit record can never land.
+    w.bump_counter(pid).unwrap();
+    let space = w.sls.kernel.proc(pid).unwrap().space;
+    let addr = w.sls.kernel.vm.entries(space).unwrap()[0].start;
+    let marker = 0xfeed_beef_u64.to_le_bytes();
+    w.sls.kernel.mem_write(pid, addr + 4096, &marker).unwrap();
+    handle.set_plan(FaultPlan {
+        fail_writes_from: Some(handle.writes_seen() + 2),
+        ..FaultPlan::none()
+    });
+    let failed = w.sls.sls_checkpoint(gid).unwrap();
+    let f = failed.failure.as_ref().expect("commit failure must be recorded");
+    assert_eq!(f.stage, "commit");
+    assert_eq!(f.attempts, 4);
+
+    handle.clear_faults();
+    w.bump_counter(pid).unwrap();
+    let cp2 = w.sls.sls_checkpoint(gid).unwrap();
+    assert!(cp2.committed());
+    assert_eq!(cp2.epoch, cp1.epoch + 1, "the aborted epoch number is reused");
+
+    // Both pages flushed before the failed commit were re-dirtied by
+    // the abort: the marker — whose blocks died with the aborted epoch —
+    // survives into the successful one.
+    let r = w.sls.sls_restore(gid, None, RestoreMode::Full).unwrap();
+    assert_eq!(w.read_counter(r.pids[0]).unwrap(), 3);
+    let mut buf = [0u8; 8];
+    w.sls.kernel.mem_read(r.pids[0], addr + 4096, &mut buf).unwrap();
+    assert_eq!(buf, marker, "re-dirtied page content must reach the next epoch");
+}
+
+/// Back-to-back failed checkpoints don't compound: each aborts cleanly,
+/// and the group keeps its committed history.
+#[test]
+fn repeated_failures_stay_isolated() {
+    let (mut w, handle) = World::with_faulty_store(STORE_BYTES, FaultPlan::none());
+    let pid = w.spawn_counter_app();
+    w.bump_counter(pid).unwrap();
+    let gid = w.sls.attach(pid, SlsOptions::default()).unwrap();
+    let cp1 = w.sls.sls_checkpoint(gid).unwrap();
+    assert!(cp1.committed());
+
+    for round in 0..3 {
+        w.bump_counter(pid).unwrap();
+        handle.set_plan(FaultPlan {
+            fail_writes_from: Some(handle.writes_seen()),
+            ..FaultPlan::none()
+        });
+        let failed = w.sls.sls_checkpoint(gid).unwrap();
+        assert!(failed.failure.is_some(), "round {round}: must abort");
+        handle.clear_faults();
+    }
+
+    let cp2 = w.sls.sls_checkpoint(gid).unwrap();
+    assert!(cp2.committed());
+    assert_eq!(cp2.epoch, cp1.epoch + 1, "three aborts consumed no epochs");
+    let r = w.sls.sls_restore(gid, None, RestoreMode::Full).unwrap();
+    assert_eq!(w.read_counter(r.pids[0]).unwrap(), 4);
+}

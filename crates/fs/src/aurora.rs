@@ -20,6 +20,10 @@ pub struct AuroraFs {
     period_ns: u64,
     last_commit_ns: u64,
     commits: u64,
+    /// When the newest periodic checkpoint becomes durable. `finish`
+    /// waits for this: dropping it would silently skip the barrier and
+    /// report results for checkpoints that never reached the device.
+    pending_durable_ns: u64,
     /// File creation grabs a global lock in the current implementation
     /// (§9.1: "File creation in Aurora is unoptimized").
     create_lock_ns: u64,
@@ -45,6 +49,7 @@ impl AuroraFs {
             period_ns: 10 * MS,
             last_commit_ns: 0,
             commits: 0,
+            pending_durable_ns: 0,
             create_lock_ns: 6_000,
         }
     }
@@ -62,7 +67,8 @@ impl AuroraFs {
     fn maybe_checkpoint(&mut self) -> Result<()> {
         let now = self.store.charge().clock().now();
         if now.saturating_sub(self.last_commit_ns) >= self.period_ns {
-            self.store.commit().map_err(|e| FsError::Backend(e.to_string()))?;
+            let info = self.store.commit().map_err(|e| FsError::Backend(e.to_string()))?;
+            self.pending_durable_ns = self.pending_durable_ns.max(info.durable_at);
             self.last_commit_ns = now;
             self.commits += 1;
         }
@@ -126,7 +132,9 @@ impl SimFs for AuroraFs {
     fn finish(&mut self) -> Result<()> {
         let info = self.store.commit().map_err(|e| FsError::Backend(e.to_string()))?;
         self.commits += 1;
+        // Wait for the final commit *and* every periodic one before it.
         self.store.barrier(info);
+        self.store.charge().clock().advance_to(self.pending_durable_ns);
         Ok(())
     }
 

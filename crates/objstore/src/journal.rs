@@ -142,7 +142,7 @@ impl ObjectStore {
         if head % PAGE != 0 {
             let existing = {
                 let mut dev = self.device().lock();
-                dev.read(dev_first, 1).map_err(|e| StoreError::Device(e.to_string()))?
+                dev.read(dev_first, 1).map_err(StoreError::dev_err("journal-rmw", oid))?
             };
             buf[..PAGE].copy_from_slice(&existing);
         }
@@ -164,7 +164,7 @@ impl ObjectStore {
                 let bytes = &buf[i * PAGE..end * PAGE];
                 let c = dev
                     .write(blocks[i], bytes)
-                    .map_err(|e| StoreError::Device(e.to_string()))?;
+                    .map_err(StoreError::dev_err("journal-append", oid))?;
                 last = last.join(c);
                 i = end;
             }
@@ -211,7 +211,7 @@ impl ObjectStore {
             let mut dev = self.device().lock();
             for &b in &blocks {
                 raw.extend_from_slice(
-                    &dev.read(b, 1).map_err(|e| StoreError::Device(e.to_string()))?,
+                    &dev.read(b, 1).map_err(StoreError::dev_err("journal-scan", oid))?,
                 );
             }
         }

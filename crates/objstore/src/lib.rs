@@ -24,8 +24,10 @@
 //! simulated device drops writes that were still in flight, so the crash
 //! tests exercise the real window.
 
+pub mod explore;
 pub mod journal;
 pub mod store;
 
+pub use explore::{Explorer, ScheduleReport, WorkloadOp};
 pub use journal::JournalStats;
 pub use store::{CommitInfo, ObjectKind, ObjectStore, Oid, StoreError, PAGE};

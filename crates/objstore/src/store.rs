@@ -1,7 +1,7 @@
 //! The store proper: objects, versioned pages, commits, and recovery.
 
 use crate::journal::Journal;
-use aurora_storage::device::{Completion, SharedDevice};
+use aurora_storage::device::{Completion, DeviceError, SharedDevice};
 use aurora_sim::codec::{CodecError, Decoder, Encoder};
 use aurora_sim::cost::Charge;
 use std::collections::{BTreeSet, HashMap};
@@ -80,8 +80,36 @@ pub enum StoreError {
     Corrupt(&'static str),
     /// Codec failure while decoding metadata.
     Codec(CodecError),
-    /// Device-layer failure.
-    Device(String),
+    /// Device-layer failure, with the store operation it interrupted.
+    Device {
+        /// The store operation that touched the device.
+        op: &'static str,
+        /// Object involved, if the operation had one.
+        oid: Option<Oid>,
+        /// The epoch in progress (or being read) when the device failed.
+        epoch: u64,
+        /// The underlying device error.
+        source: DeviceError,
+    },
+}
+
+impl StoreError {
+    /// True when retrying the failed operation may succeed — the
+    /// type-driven retry policy used by the checkpoint pipeline.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StoreError::Device { source, .. } if source.is_transient())
+    }
+
+    /// Builds the closure `map_err` wants for a device-touching op.
+    fn dev(op: &'static str, oid: Option<Oid>, epoch: u64) -> impl FnOnce(DeviceError) -> Self {
+        move |source| StoreError::Device { op, oid, epoch, source }
+    }
+
+    /// Like [`dev`](Self::dev) for journal ops, which are epoch-less
+    /// (journals update in place, outside checkpoint history).
+    pub(crate) fn dev_err(op: &'static str, oid: Oid) -> impl FnOnce(DeviceError) -> Self {
+        move |source| StoreError::Device { op, oid: Some(oid), epoch: 0, source }
+    }
 }
 
 impl fmt::Display for StoreError {
@@ -95,7 +123,10 @@ impl fmt::Display for StoreError {
             StoreError::JournalFull(o) => write!(f, "journal {o:?} is full"),
             StoreError::Corrupt(w) => write!(f, "corruption: {w}"),
             StoreError::Codec(e) => write!(f, "metadata decode: {e}"),
-            StoreError::Device(e) => write!(f, "device: {e}"),
+            StoreError::Device { op, oid, epoch, source } => match oid {
+                Some(o) => write!(f, "device failure during {op} ({o:?}, epoch {epoch}): {source}"),
+                None => write!(f, "device failure during {op} (epoch {epoch}): {source}"),
+            },
         }
     }
 }
@@ -134,6 +165,11 @@ struct DirtyState {
 }
 
 /// What a commit produced.
+///
+/// Dropping this silently discards `durable_at`, and with it the only
+/// way to wait for the checkpoint (`barrier`) — exactly the external-
+/// synchrony bug the paper warns about — hence `#[must_use]`.
+#[must_use = "dropping CommitInfo loses durable_at; call barrier() or record it"]
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CommitInfo {
     /// The committed epoch number.
@@ -146,7 +182,9 @@ pub struct CommitInfo {
 
 const MAGIC: u64 = 0x4155_524f_5241_5354; // "AURORAST"
 const SUPERBLOCK_VERSION: u16 = 1;
-const RECORD_VERSION: u16 = 1;
+// v2 added the retained-history floor to the commit record, making
+// `drop_oldest_checkpoint` crash-safe.
+const RECORD_VERSION: u16 = 2;
 
 /// FNV-1a 64-bit, used to validate metadata records at recovery.
 fn fnv1a(data: &[u8]) -> u64 {
@@ -171,6 +209,15 @@ pub struct ObjectStore {
     /// Next free data block (bump) and the free list.
     next_block: u64,
     free_blocks: Vec<u64>,
+    /// Blocks freed by history reclamation, awaiting the next commit.
+    /// They become reusable only once the commit that persists the new
+    /// floor is durable — reusing earlier would let a crash recover a
+    /// pre-drop history whose blocks we overwrote.
+    staged_free: Vec<u64>,
+    /// Reclaimed blocks fenced behind a commit: `(durable_at, blocks)`.
+    pending_free: Vec<(u64, Vec<u64>)>,
+    /// Lowest retained epoch, persisted in every commit record.
+    floor: u64,
     /// Metadata log: fixed region [meta_start, data_start).
     meta_start: u64,
     meta_head: u64,
@@ -194,6 +241,9 @@ impl ObjectStore {
             dirty: DirtyState::default(),
             next_block: 1 + meta_blocks,
             free_blocks: Vec::new(),
+            staged_free: Vec::new(),
+            pending_free: Vec::new(),
+            floor: 0,
             meta_start: 1,
             meta_head: 1,
             data_start: 1 + meta_blocks,
@@ -214,7 +264,7 @@ impl ObjectStore {
         let mut block = e.finish_vec();
         block.resize(PAGE, 0);
         let mut dev = self.dev.lock();
-        let c = dev.write(0, &block).map_err(|e| StoreError::Device(e.to_string()))?;
+        let c = dev.write(0, &block).map_err(StoreError::dev("superblock", None, 0))?;
         dev.flush();
         let _ = c;
         Ok(())
@@ -227,7 +277,7 @@ impl ObjectStore {
         let (meta_start, data_start, capacity) = {
             let mut d = dev.lock();
             let capacity = d.capacity_blocks();
-            let sb = d.read(0, 1).map_err(|e| StoreError::Device(e.to_string()))?;
+            let sb = d.read(0, 1).map_err(StoreError::dev("open-superblock", None, 0))?;
             let mut dec = Decoder::new(&sb);
             let (_v, mut body) = dec.record(0x5350, SUPERBLOCK_VERSION)?;
             if body.u64()? != MAGIC {
@@ -244,6 +294,9 @@ impl ObjectStore {
             dirty: DirtyState::default(),
             next_block: data_start,
             free_blocks: Vec::new(),
+            staged_free: Vec::new(),
+            pending_free: Vec::new(),
+            floor: 0,
             meta_start,
             meta_head: meta_start,
             data_start,
@@ -263,7 +316,7 @@ impl ObjectStore {
             }
             let header = {
                 let mut d = self.dev.lock();
-                d.read(head, 1).map_err(|e| StoreError::Device(e.to_string()))?
+                d.read(head, 1).map_err(StoreError::dev("replay-header", None, 0))?
             };
             let mut dec = Decoder::new(&header);
             let Ok((_v, mut body)) = dec.record(0x434b, RECORD_VERSION) else { break };
@@ -272,6 +325,7 @@ impl ObjectStore {
                 break;
             }
             let epoch = body.u64()?;
+            let floor = body.u64()?;
             let nblocks = body.u64()?;
             let len = body.u64()? as usize;
             let checksum = body.u64()?;
@@ -280,16 +334,26 @@ impl ObjectStore {
             }
             let payload = {
                 let mut d = self.dev.lock();
-                d.read(head + 1, nblocks).map_err(|e| StoreError::Device(e.to_string()))?
+                d.read(head + 1, nblocks).map_err(StoreError::dev("replay-payload", None, epoch))?
             };
             if len > payload.len() || fnv1a(&payload[..len]) != checksum {
                 break; // incomplete commit: data raced the crash
             }
             self.apply_record(epoch, &payload[..len])?;
             self.epochs.push(epoch);
+            self.floor = self.floor.max(floor);
             self.cur_epoch = epoch + 1;
             head += 1 + nblocks;
             self.meta_head = head;
+        }
+        // Re-apply history reclamation: epochs the pre-crash store dropped
+        // stay dropped once the drop's floor made it into a durable commit
+        // record. (Before that commit their blocks were never reused, so
+        // resurrecting them is safe.)
+        if self.floor > 0 {
+            self.epochs.retain(|&e| e >= self.floor);
+            let floor = self.floor;
+            self.prune_below_floor(floor);
         }
         // Conservative allocator recovery: everything at or above the
         // highest referenced block is free.
@@ -369,6 +433,7 @@ impl ObjectStore {
     }
 
     pub(crate) fn alloc_block(&mut self) -> Result<u64> {
+        self.reclaim_matured();
         if let Some(b) = self.free_blocks.pop() {
             return Ok(b);
         }
@@ -378,6 +443,21 @@ impl ObjectStore {
         let b = self.next_block;
         self.next_block += 1;
         Ok(b)
+    }
+
+    /// Moves reclaimed blocks whose fencing commit has become durable
+    /// onto the free list.
+    fn reclaim_matured(&mut self) {
+        let now = self.charge.clock().now();
+        let mut i = 0;
+        while i < self.pending_free.len() {
+            if self.pending_free[i].0 <= now {
+                let (_, blocks) = self.pending_free.swap_remove(i);
+                self.free_blocks.extend(blocks);
+            } else {
+                i += 1;
+            }
+        }
     }
 
     /// The device handle (for integration points like the pager).
@@ -425,9 +505,14 @@ impl ObjectStore {
             return Err(StoreError::NoSuchObject(oid));
         }
         let block = self.alloc_block()?;
-        let completion = {
-            let mut dev = self.dev.lock();
-            dev.write(block, data).map_err(|e| StoreError::Device(e.to_string()))?
+        let res = self.dev.lock().write(block, data);
+        let completion = match res {
+            Ok(c) => c,
+            Err(e) => {
+                // The block was never filled; hand it straight back.
+                self.free_blocks.push(block);
+                return Err(StoreError::dev("write-page", Some(oid), self.cur_epoch)(e));
+            }
         };
         self.charge.encode(PAGE as u64);
         self.dirty.max_completion = self.dirty.max_completion.max(completion.done_at);
@@ -488,9 +573,11 @@ impl ObjectStore {
         for (pindex, _) in pages {
             placed.push((self.alloc_block()?, *pindex));
         }
-        {
+        let write_res = {
             let mut dev = self.dev.lock();
+            let mut max_done = self.dirty.max_completion;
             let mut i = 0;
+            let mut res = Ok(());
             while i < placed.len() {
                 let start = i;
                 while i + 1 < placed.len() && placed[i + 1].0 == placed[i].0 + 1 {
@@ -500,12 +587,24 @@ impl ObjectStore {
                 for (_, data) in &pages[start..=i] {
                     buf.extend_from_slice(&data[..]);
                 }
-                let completion = dev
-                    .write(placed[start].0, &buf)
-                    .map_err(|e| StoreError::Device(e.to_string()))?;
-                self.dirty.max_completion = self.dirty.max_completion.max(completion.done_at);
+                match dev.write(placed[start].0, &buf) {
+                    Ok(completion) => max_done = max_done.max(completion.done_at),
+                    Err(e) => {
+                        res = Err(e);
+                        break;
+                    }
+                }
                 i += 1;
             }
+            self.dirty.max_completion = max_done;
+            res
+        };
+        if let Err(e) = write_res {
+            // None of the batch is indexed yet; return every placed block.
+            // (Blocks written before the failure hold unreferenced data —
+            // harmless to recycle, they were never committed.)
+            self.free_blocks.extend(placed.iter().map(|&(b, _)| b));
+            return Err(StoreError::dev("write-pages", Some(oid), self.cur_epoch)(e));
         }
         self.charge.encode((pages.len() * PAGE) as u64);
         let epoch = self.cur_epoch;
@@ -617,6 +716,7 @@ impl ObjectStore {
         header.record(0x434b, RECORD_VERSION, |e| {
             e.u64(MAGIC);
             e.u64(epoch);
+            e.u64(self.floor);
             e.u64(nblocks);
             e.u64(payload.len() as u64);
             e.u64(checksum);
@@ -632,18 +732,26 @@ impl ObjectStore {
             let mut dev = self.dev.lock();
             // Payload first, then the header — the header is the commit
             // point. Both are ordered after the epoch's data writes.
+            // Nothing below advances meta_head or epoch state until both
+            // writes are accepted, so a failed commit can simply be
+            // retried: it rewrites the same log region.
             let c1 = dev
                 .write_after(self.meta_head + 1, &padded, barrier)
-                .map_err(|e| StoreError::Device(e.to_string()))?;
-            
-            dev
-                .write_after(self.meta_head, &header_block, c1)
-                .map_err(|e| StoreError::Device(e.to_string()))?
+                .map_err(StoreError::dev("commit-payload", None, epoch))?;
+
+            dev.write_after(self.meta_head, &header_block, c1)
+                .map_err(StoreError::dev("commit-header", None, epoch))?
         };
         self.meta_head += 1 + nblocks;
         self.epochs.push(epoch);
         self.cur_epoch = epoch + 1;
         self.dirty = DirtyState::default();
+        if !self.staged_free.is_empty() {
+            // Blocks reclaimed by drop_oldest become reusable only once
+            // this commit record (which carries the new floor) is durable.
+            let staged = std::mem::take(&mut self.staged_free);
+            self.pending_free.push((durable.done_at, staged));
+        }
         Ok(CommitInfo {
             epoch,
             durable_at: durable.done_at,
@@ -767,7 +875,7 @@ impl ObjectStore {
             .ok_or(StoreError::NoSuchPage(oid, pindex))?;
         let data = {
             let mut dev = self.dev.lock();
-            dev.read(block, 1).map_err(|e| StoreError::Device(e.to_string()))?
+            dev.read(block, 1).map_err(StoreError::dev("read-page", Some(oid), epoch))?
         };
         Ok(data.as_slice().try_into().expect("one block"))
     }
@@ -810,7 +918,7 @@ impl ObjectStore {
             let run = &located[i..j];
             let (data, d) = dev
                 .read_from(run[0].1, run.len() as u64, issue_at)
-                .map_err(|e| StoreError::Device(e.to_string()))?;
+                .map_err(StoreError::dev("read-pages-bulk", Some(oid), epoch))?;
             done = done.max(d);
             for (k, &(pi, _)) in run.iter().enumerate() {
                 let page: [u8; PAGE] =
@@ -855,7 +963,7 @@ impl ObjectStore {
             .ok_or(StoreError::NoSuchPage(oid, pindex))?;
         let data = {
             let mut dev = self.dev.lock();
-            dev.read(block, 1).map_err(|e| StoreError::Device(e.to_string()))?
+            dev.read(block, 1).map_err(StoreError::dev("read-page-pinned", Some(oid), last))?
         };
         Ok(data.as_slice().try_into().expect("one block"))
     }
@@ -870,16 +978,33 @@ impl ObjectStore {
     // History reclamation
     // ------------------------------------------------------------------
 
-    /// Drops the oldest committed checkpoint, freeing every block version
-    /// that was superseded by the next retained checkpoint. No garbage
-    /// collector: the walk is bounded by the dropped epoch's own deltas'
-    /// successors.
+    /// Drops the oldest committed checkpoint, reclaiming every block
+    /// version that was superseded by the next retained checkpoint. No
+    /// garbage collector: the walk is bounded by the dropped epoch's own
+    /// deltas' successors.
+    ///
+    /// The reclaimed blocks are *staged*, not immediately reusable: they
+    /// join the free list only once a later commit — which persists the
+    /// new floor — is durable. Until then a crash simply resurrects the
+    /// dropped epoch, intact.
     pub fn drop_oldest_checkpoint(&mut self) -> Result<u64> {
         if self.epochs.len() < 2 {
             return Err(StoreError::NoSuchEpoch(0));
         }
         let dropped = self.epochs.remove(0);
         let floor = self.epochs[0];
+        self.floor = floor;
+        let freed = self.prune_below_floor(floor);
+        self.staged_free.extend(freed);
+        Ok(dropped)
+    }
+
+    /// Removes history below `floor`: dead objects, superseded page
+    /// versions, superseded metadata. Returns the device blocks this
+    /// releases. Shared by [`drop_oldest_checkpoint`] and recovery.
+    ///
+    /// [`drop_oldest_checkpoint`]: ObjectStore::drop_oldest_checkpoint
+    fn prune_below_floor(&mut self, floor: u64) -> Vec<u64> {
         let mut freed = Vec::new();
         let dead: Vec<u64> = self
             .objects
@@ -910,8 +1035,55 @@ impl ObjectStore {
                 o.meta.remove(0);
             }
         }
+        freed
+    }
+
+    /// Aborts the in-progress epoch: every uncommitted mutation (page
+    /// versions, metadata, creations, deletions, fresh journals) is
+    /// discarded and its blocks returned to the free list. The epoch
+    /// number is not consumed — the next commit reuses it.
+    ///
+    /// This is the checkpoint pipeline's rollback: a checkpoint that
+    /// failed after retries must leave the store exactly as the last
+    /// commit left it, so the next checkpoint starts clean.
+    pub fn abort_epoch(&mut self) {
+        let epoch = self.cur_epoch;
+        let dirty = std::mem::take(&mut self.dirty);
+        let mut freed = Vec::new();
+        for oid in dirty.objects {
+            let created_now = match self.objects.get_mut(&oid) {
+                None => continue,
+                Some(o) if o.created_epoch == epoch => true,
+                Some(o) => {
+                    for vs in o.versions.values_mut() {
+                        while matches!(vs.last(), Some(&(e, _)) if e == epoch) {
+                            freed.push(vs.pop().expect("just matched").1);
+                        }
+                    }
+                    o.versions.retain(|_, vs| !vs.is_empty());
+                    while matches!(o.meta.last(), Some((e, _)) if *e == epoch) {
+                        o.meta.pop();
+                    }
+                    if o.deleted_epoch == Some(epoch) {
+                        o.deleted_epoch = None;
+                    }
+                    false
+                }
+            };
+            if created_now {
+                // The object never existed in any committed epoch.
+                let o = self.objects.remove(&oid).expect("present");
+                for (_, vs) in o.versions {
+                    for (_, b) in vs {
+                        freed.push(b);
+                    }
+                }
+                if let Some(j) = o.journal {
+                    freed.extend(j.blocks);
+                }
+            }
+        }
         self.free_blocks.extend(freed);
-        Ok(dropped)
     }
 
     /// Journal accessor for `journal.rs`.
@@ -991,9 +1163,9 @@ mod tests {
         let oid = s.alloc_oid();
         s.create_object(oid, ObjectKind::Memory).unwrap();
         s.write_page(oid, 0, &page(1)).unwrap();
-        s.commit().unwrap();
+        let _ = s.commit().unwrap();
         s.write_page(oid, 0, &page(2)).unwrap();
-        s.commit().unwrap();
+        let _ = s.commit().unwrap();
         assert_eq!(s.read_page(oid, 0, 1).unwrap(), page(1));
         assert_eq!(s.read_page(oid, 0, 2).unwrap(), page(2));
     }
@@ -1004,9 +1176,9 @@ mod tests {
         let oid = s.alloc_oid();
         s.create_object(oid, ObjectKind::Memory).unwrap();
         s.write_page(oid, 3, &page(9)).unwrap();
-        s.commit().unwrap();
+        let _ = s.commit().unwrap();
         s.write_page(oid, 4, &page(8)).unwrap();
-        s.commit().unwrap();
+        let _ = s.commit().unwrap();
         assert_eq!(s.read_page(oid, 3, 2).unwrap(), page(9), "COW shares old block");
         assert_eq!(s.pages_at(oid, 2).unwrap(), vec![3, 4]);
         assert_eq!(s.pages_at(oid, 1).unwrap(), vec![3]);
@@ -1051,9 +1223,9 @@ mod tests {
         let oid = s.alloc_oid();
         s.create_object(oid, ObjectKind::File).unwrap();
         s.write_page(oid, 0, &page(5)).unwrap();
-        s.commit().unwrap();
+        let _ = s.commit().unwrap();
         s.delete_object(oid).unwrap();
-        s.commit().unwrap();
+        let _ = s.commit().unwrap();
         assert!(s.objects_at(1).unwrap().contains(&oid));
         assert!(!s.objects_at(2).unwrap().contains(&oid));
         // History still readable.
@@ -1066,15 +1238,93 @@ mod tests {
         let oid = s.alloc_oid();
         s.create_object(oid, ObjectKind::Memory).unwrap();
         s.write_page(oid, 0, &page(1)).unwrap();
-        s.commit().unwrap();
+        let _ = s.commit().unwrap();
         s.write_page(oid, 0, &page(2)).unwrap();
-        s.commit().unwrap();
-        let free_before = s.free_blocks.len();
+        let _ = s.commit().unwrap();
         s.drop_oldest_checkpoint().unwrap();
-        assert_eq!(s.free_blocks.len(), free_before + 1, "one superseded block freed");
+        // The superseded block is staged, not yet reusable: a crash right
+        // now must still be able to resurrect epoch 1 intact.
+        assert_eq!(s.staged_free.len(), 1, "one superseded block staged");
         assert_eq!(s.epochs(), &[2]);
         assert!(s.read_page(oid, 0, 1).is_err());
         assert_eq!(s.read_page(oid, 0, 2).unwrap(), page(2));
+        // The next durable commit publishes the floor and releases it.
+        s.write_page(oid, 0, &page(3)).unwrap();
+        let c = s.commit().unwrap();
+        s.barrier(c);
+        s.reclaim_matured();
+        assert!(s.staged_free.is_empty());
+        assert!(!s.free_blocks.is_empty(), "block reusable after floor commit is durable");
+    }
+
+    #[test]
+    fn dropped_epochs_stay_dropped_after_durable_floor_commit() {
+        let mut s = fresh();
+        let oid = s.alloc_oid();
+        s.create_object(oid, ObjectKind::Memory).unwrap();
+        for i in 1..=3u8 {
+            s.write_page(oid, 0, &page(i)).unwrap();
+            let c = s.commit().unwrap();
+            s.barrier(c);
+        }
+        s.drop_oldest_checkpoint().unwrap();
+        s.write_page(oid, 0, &page(4)).unwrap();
+        let c = s.commit().unwrap();
+        s.barrier(c); // floor=2 is now durable
+        let mut s = s.crash_and_recover().unwrap();
+        assert_eq!(s.epochs(), &[2, 3, 4], "epoch 1 must not resurrect");
+        assert!(s.read_page(oid, 0, 1).is_err());
+        assert_eq!(s.read_page(oid, 0, 2).unwrap(), page(2));
+        assert_eq!(s.read_page(oid, 0, 4).unwrap(), page(4));
+    }
+
+    #[test]
+    fn drop_then_crash_before_floor_commit_resurrects_epoch_intact() {
+        let mut s = fresh();
+        let oid = s.alloc_oid();
+        s.create_object(oid, ObjectKind::Memory).unwrap();
+        for i in 1..=2u8 {
+            s.write_page(oid, 0, &page(i)).unwrap();
+            let c = s.commit().unwrap();
+            s.barrier(c);
+        }
+        s.drop_oldest_checkpoint().unwrap();
+        // Crash before any commit persists the new floor: the dropped
+        // epoch comes back, and because its blocks were only staged (never
+        // reused) the data is bit-exact.
+        let mut s = s.crash_and_recover().unwrap();
+        assert_eq!(s.epochs(), &[1, 2]);
+        assert_eq!(s.read_page(oid, 0, 1).unwrap(), page(1));
+        assert_eq!(s.read_page(oid, 0, 2).unwrap(), page(2));
+    }
+
+    #[test]
+    fn abort_epoch_discards_uncommitted_state() {
+        let mut s = fresh();
+        let keep = s.alloc_oid();
+        s.create_object(keep, ObjectKind::Memory).unwrap();
+        s.write_page(keep, 0, &page(1)).unwrap();
+        s.set_meta(keep, b"v1").unwrap();
+        let c = s.commit().unwrap();
+        s.barrier(c);
+        // Epoch 2 in progress: overwrite, new meta, a new object, a delete.
+        s.write_page(keep, 0, &page(2)).unwrap();
+        s.set_meta(keep, b"v2").unwrap();
+        let fresh_obj = s.alloc_oid();
+        s.create_object(fresh_obj, ObjectKind::Memory).unwrap();
+        s.write_page(fresh_obj, 0, &page(9)).unwrap();
+        s.abort_epoch();
+        // The live world is exactly epoch 1 again.
+        assert_eq!(s.read_page(keep, 0, 1).unwrap(), page(1));
+        assert_eq!(s.meta_at(keep, 1).unwrap(), b"v1");
+        assert!(!s.objects.contains_key(&fresh_obj.0), "uncommitted object gone");
+        // And the next commit works and reuses the epoch number.
+        s.write_page(keep, 0, &page(3)).unwrap();
+        let c = s.commit().unwrap();
+        assert_eq!(c.epoch, 2);
+        s.barrier(c);
+        assert_eq!(s.read_page(keep, 0, 2).unwrap(), page(3));
+        assert_eq!(s.meta_at(keep, 2).unwrap(), b"v1", "meta carried forward, not v2");
     }
 
     #[test]
@@ -1087,7 +1337,7 @@ mod tests {
         s.write_page(oid, 0, &page(2)).unwrap();
         assert_eq!(s.free_blocks.len(), 1, "superseded uncommitted block freed");
         assert!(s.next_block <= nb + 1);
-        s.commit().unwrap();
+        let _ = s.commit().unwrap();
         assert_eq!(s.read_page(oid, 0, 1).unwrap(), page(2));
     }
 

@@ -24,6 +24,21 @@ pub enum DeviceError {
         /// Device block size.
         block_size: usize,
     },
+    /// The device reported an I/O failure (EIO).
+    Io {
+        /// First block of the failed access.
+        lba: u64,
+        /// Whether a retry may succeed (queue/bus glitch) or the medium
+        /// itself failed.
+        transient: bool,
+    },
+}
+
+impl DeviceError {
+    /// True when a bounded retry is a sensible response.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, DeviceError::Io { transient: true, .. })
+    }
 }
 
 impl fmt::Display for DeviceError {
@@ -34,6 +49,10 @@ impl fmt::Display for DeviceError {
             }
             DeviceError::Misaligned { len, block_size } => {
                 write!(f, "buffer length {len} not a multiple of block size {block_size}")
+            }
+            DeviceError::Io { lba, transient } => {
+                let kind = if *transient { "transient" } else { "fatal" };
+                write!(f, "{kind} i/o error at block {lba}")
             }
         }
     }

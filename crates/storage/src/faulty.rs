@@ -1,0 +1,406 @@
+//! Deterministic fault injection at the block-device boundary.
+//!
+//! [`FaultyDevice`] wraps any [`BlockDevice`] and injects failures
+//! according to an explicit [`FaultPlan`]: a power-cut at the Nth write
+//! (optionally tearing that write at a sub-block boundary), transient
+//! EIO-style errors at chosen write sequence numbers, and silent
+//! bit-flips drawn from the in-tree deterministic PRNG. Every write is
+//! also recorded in an ordered trace, so a failing crash schedule can be
+//! replayed and inspected from nothing but the plan.
+//!
+//! All randomness comes from [`DetRng`] seeded by `FaultPlan::seed`, so
+//! a whole failure scenario reproduces from a single `u64`.
+
+use crate::device::{BlockDevice, Completion, DeviceError, Result};
+use aurora_sim::rng::{DetRng, Rng};
+use aurora_sim::sync::Mutex;
+use aurora_sim::Clock;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// What to inject, and when. Write sequence numbers count every
+/// [`BlockDevice::write`]/[`write_after`](BlockDevice::write_after) call
+/// made through the wrapper, starting at 0.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Power-cut at this write: the write (and everything after it) never
+    /// reaches the medium, except for an optional torn prefix.
+    pub cut_at_write: Option<u64>,
+    /// If cutting, how many leading bytes of the cut write survive. The
+    /// remainder of the torn block is filled with garbage, and any later
+    /// blocks of the same write are dropped. Clamped to `len - 1` so the
+    /// tear is always sub-write.
+    pub tear_bytes: Option<usize>,
+    /// Writes that fail once with a transient EIO (the data never reaches
+    /// the device; a retry is a fresh sequence number and may succeed).
+    pub transient_writes: BTreeSet<u64>,
+    /// From this write onward, every write fails with a transient EIO
+    /// until the plan is replaced — models a wedged queue, and lets tests
+    /// exhaust a retry budget.
+    pub fail_writes_from: Option<u64>,
+    /// Per-write probability of flipping one random bit of the payload
+    /// before it reaches the medium (silent corruption).
+    pub bitflip_per_write: f64,
+    /// Seed for the injection PRNG (bit-flip positions).
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A power-cut at write `n` with no torn prefix.
+    pub fn cut_at(n: u64) -> Self {
+        Self { cut_at_write: Some(n), ..Self::default() }
+    }
+
+    /// A power-cut at write `n`, tearing it after `bytes` bytes.
+    pub fn torn_cut_at(n: u64, bytes: usize) -> Self {
+        Self { cut_at_write: Some(n), tear_bytes: Some(bytes), ..Self::default() }
+    }
+
+    /// Derives a whole scenario from one seed: a cut point in
+    /// `[0, horizon_writes)`, a coin-flip for tearing, and a sub-block
+    /// tear offset. This is how CI names a reproducible failure with a
+    /// single `u64`.
+    pub fn from_seed(seed: u64, horizon_writes: u64) -> Self {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let cut = rng.gen_range(0..horizon_writes.max(1));
+        let tear = if rng.gen_bool(0.5) {
+            Some(rng.gen_range(1..4096) as usize)
+        } else {
+            None
+        };
+        Self { cut_at_write: Some(cut), tear_bytes: tear, seed, ..Self::default() }
+    }
+}
+
+/// What happened to one write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// Passed through unmodified.
+    Applied,
+    /// Power-cut write: only the leading `bytes` reached the medium.
+    Torn {
+        /// Surviving prefix length.
+        bytes: usize,
+    },
+    /// Dropped entirely (at or after the power-cut).
+    Dropped,
+    /// Rejected with a transient EIO.
+    Failed,
+    /// Applied with one flipped bit.
+    BitFlipped {
+        /// Which payload bit was flipped.
+        bit: u64,
+    },
+}
+
+/// One entry of the write-order trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WriteRecord {
+    /// Write sequence number (0-based).
+    pub seq: u64,
+    /// First logical block of the write.
+    pub lba: u64,
+    /// Blocks in the write.
+    pub nblocks: u64,
+    /// What the injector did with it.
+    pub outcome: WriteOutcome,
+}
+
+/// Mutable injection state, shared with [`FaultHandle`].
+struct FaultState {
+    plan: FaultPlan,
+    rng: DetRng,
+    writes_seen: u64,
+    cut_fired: bool,
+    trace: Vec<WriteRecord>,
+}
+
+/// A handle for arming, disarming and inspecting a [`FaultyDevice`]
+/// after it has been boxed behind the [`BlockDevice`] trait.
+#[derive(Clone)]
+pub struct FaultHandle(Arc<Mutex<FaultState>>);
+
+impl FaultHandle {
+    /// Whether the planned power-cut has fired.
+    pub fn cut_fired(&self) -> bool {
+        self.0.lock().cut_fired
+    }
+
+    /// Writes observed so far (the next write gets this sequence number).
+    pub fn writes_seen(&self) -> u64 {
+        self.0.lock().writes_seen
+    }
+
+    /// A copy of the write-order trace.
+    pub fn trace(&self) -> Vec<WriteRecord> {
+        self.0.lock().trace.clone()
+    }
+
+    /// Replaces the plan (keeps the sequence counter and trace), re-arming
+    /// the injector mid-run. Clears a fired cut only if the new plan has
+    /// no cut — a fired cut stays fired while its plan stands.
+    pub fn set_plan(&self, plan: FaultPlan) {
+        let mut st = self.0.lock();
+        st.rng = DetRng::seed_from_u64(plan.seed);
+        if plan.cut_at_write.is_none() {
+            st.cut_fired = false;
+        }
+        st.plan = plan;
+    }
+
+    /// Disarms every fault; subsequent writes pass through.
+    pub fn clear_faults(&self) {
+        self.set_plan(FaultPlan::none());
+    }
+}
+
+/// A [`BlockDevice`] wrapper that injects the faults described by a
+/// [`FaultPlan`]. See the module docs for semantics.
+pub struct FaultyDevice {
+    inner: Box<dyn BlockDevice + Send>,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultyDevice {
+    /// Wraps `inner` with the given plan. The returned handle arms,
+    /// disarms and inspects the injector from outside.
+    pub fn new(inner: Box<dyn BlockDevice + Send>, plan: FaultPlan) -> (Self, FaultHandle) {
+        let state = Arc::new(Mutex::new(FaultState {
+            rng: DetRng::seed_from_u64(plan.seed),
+            plan,
+            writes_seen: 0,
+            cut_fired: false,
+            trace: Vec::new(),
+        }));
+        let handle = FaultHandle(state.clone());
+        (Self { inner, state }, handle)
+    }
+
+    /// The common write path: decides the outcome of write `seq`, records
+    /// it, and forwards (possibly modified) data to the inner device.
+    fn inject_write(&mut self, lba: u64, data: &[u8], after: Option<Completion>) -> Result<Completion> {
+        let bs = self.inner.block_size();
+        let nblocks = (data.len().max(1) / bs.max(1)) as u64;
+        let mut st = self.state.lock();
+        let seq = st.writes_seen;
+        st.writes_seen += 1;
+
+        if st.cut_fired {
+            // Power already lost: the caller keeps issuing writes, the
+            // medium never sees them. Completions are fabricated so the
+            // workload runs on obliviously — exactly like an OS whose
+            // device vanished mid-flight.
+            st.trace.push(WriteRecord { seq, lba, nblocks, outcome: WriteOutcome::Dropped });
+            return Ok(Completion::immediate(self.inner.clock().now()));
+        }
+
+        if st.plan.cut_at_write == Some(seq) {
+            st.cut_fired = true;
+            // Everything still in flight is lost with the power.
+            self.inner.crash();
+            let tear = st.plan.tear_bytes.map(|t| t.clamp(1, data.len().saturating_sub(1)));
+            let outcome = match tear {
+                Some(tb) if data.len() > 1 => {
+                    // The torn prefix reached the platter before the cut:
+                    // leading bytes intact, the rest of the torn block is
+                    // garbage, later blocks of the write are dropped.
+                    let torn_blocks = tb.div_ceil(bs).max(1);
+                    let mut buf = vec![0xA5u8; torn_blocks * bs];
+                    buf[..tb].copy_from_slice(&data[..tb]);
+                    self.inner.write(lba, &buf)?;
+                    self.inner.flush();
+                    WriteOutcome::Torn { bytes: tb }
+                }
+                _ => WriteOutcome::Dropped,
+            };
+            st.trace.push(WriteRecord { seq, lba, nblocks, outcome });
+            return Ok(Completion::immediate(self.inner.clock().now()));
+        }
+
+        let failing = st.plan.transient_writes.contains(&seq)
+            || st.plan.fail_writes_from.is_some_and(|n| seq >= n);
+        if failing {
+            st.trace.push(WriteRecord { seq, lba, nblocks, outcome: WriteOutcome::Failed });
+            return Err(DeviceError::Io { lba, transient: true });
+        }
+
+        if st.plan.bitflip_per_write > 0.0 {
+            let p = st.plan.bitflip_per_write;
+            let flip = st.rng.gen_bool(p);
+            if flip && !data.is_empty() {
+                let bit = st.rng.gen_range(0..data.len() as u64 * 8);
+                let mut corrupt = data.to_vec();
+                corrupt[(bit / 8) as usize] ^= 1 << (bit % 8);
+                st.trace.push(WriteRecord {
+                    seq,
+                    lba,
+                    nblocks,
+                    outcome: WriteOutcome::BitFlipped { bit },
+                });
+                drop(st);
+                return match after {
+                    Some(a) => self.inner.write_after(lba, &corrupt, a),
+                    None => self.inner.write(lba, &corrupt),
+                };
+            }
+        }
+
+        st.trace.push(WriteRecord { seq, lba, nblocks, outcome: WriteOutcome::Applied });
+        drop(st);
+        match after {
+            Some(a) => self.inner.write_after(lba, data, a),
+            None => self.inner.write(lba, data),
+        }
+    }
+}
+
+impl BlockDevice for FaultyDevice {
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn capacity_blocks(&self) -> u64 {
+        self.inner.capacity_blocks()
+    }
+
+    fn clock(&self) -> &Clock {
+        self.inner.clock()
+    }
+
+    fn read(&mut self, lba: u64, nblocks: u64) -> Result<Vec<u8>> {
+        self.inner.read(lba, nblocks)
+    }
+
+    fn read_from(&mut self, lba: u64, nblocks: u64, issue_at: u64) -> Result<(Vec<u8>, u64)> {
+        self.inner.read_from(lba, nblocks, issue_at)
+    }
+
+    fn write(&mut self, lba: u64, data: &[u8]) -> Result<Completion> {
+        self.inject_write(lba, data, None)
+    }
+
+    fn write_after(&mut self, lba: u64, data: &[u8], after: Completion) -> Result<Completion> {
+        self.inject_write(lba, data, Some(after))
+    }
+
+    fn flush(&mut self) -> Completion {
+        if self.state.lock().cut_fired {
+            // Nothing post-cut ever becomes durable.
+            return Completion::immediate(self.inner.clock().now());
+        }
+        self.inner.flush()
+    }
+
+    fn crash(&mut self) {
+        self.inner.crash();
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.inner.bytes_written()
+    }
+
+    fn geometry(&self) -> (u64, u64) {
+        self.inner.geometry()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nvme::{NvmeDevice, NvmeParams, BLOCK_SIZE};
+
+    fn faulty(plan: FaultPlan) -> (FaultyDevice, FaultHandle) {
+        let inner = NvmeDevice::new(Clock::new(), NvmeParams::optane_900p(), 1 << 24);
+        FaultyDevice::new(Box::new(inner), plan)
+    }
+
+    #[test]
+    fn cut_drops_the_nth_and_all_later_writes() {
+        let (mut d, h) = faulty(FaultPlan::cut_at(1));
+        d.write(0, &vec![1u8; BLOCK_SIZE]).unwrap();
+        d.flush();
+        d.write(1, &vec![2u8; BLOCK_SIZE]).unwrap(); // cut fires here
+        d.write(2, &vec![3u8; BLOCK_SIZE]).unwrap(); // dropped
+        d.flush();
+        assert!(h.cut_fired());
+        assert_eq!(d.read(0, 1).unwrap(), vec![1u8; BLOCK_SIZE]);
+        assert_eq!(d.read(1, 1).unwrap(), vec![0u8; BLOCK_SIZE]);
+        assert_eq!(d.read(2, 1).unwrap(), vec![0u8; BLOCK_SIZE]);
+        let outcomes: Vec<_> = h.trace().iter().map(|r| r.outcome).collect();
+        assert_eq!(
+            outcomes,
+            vec![WriteOutcome::Applied, WriteOutcome::Dropped, WriteOutcome::Dropped]
+        );
+    }
+
+    #[test]
+    fn cut_loses_writes_still_in_flight() {
+        let (mut d, h) = faulty(FaultPlan::cut_at(1));
+        d.write(0, &vec![1u8; BLOCK_SIZE]).unwrap(); // buffered, not durable
+        d.write(1, &vec![2u8; BLOCK_SIZE]).unwrap(); // cut: power lost
+        assert!(h.cut_fired());
+        assert_eq!(d.read(0, 1).unwrap(), vec![0u8; BLOCK_SIZE], "in-flight write lost");
+    }
+
+    #[test]
+    fn torn_write_keeps_prefix_only() {
+        let (mut d, _h) = faulty(FaultPlan::torn_cut_at(0, 100));
+        d.write(0, &vec![7u8; BLOCK_SIZE * 2]).unwrap();
+        let got = d.read(0, 2).unwrap();
+        assert!(got[..100].iter().all(|&b| b == 7), "prefix survives");
+        assert!(got[100..BLOCK_SIZE].iter().all(|&b| b == 0xA5), "torn tail is garbage");
+        assert!(got[BLOCK_SIZE..].iter().all(|&b| b == 0), "later blocks dropped");
+    }
+
+    #[test]
+    fn transient_error_fails_once_then_succeeds() {
+        let mut plan = FaultPlan::none();
+        plan.transient_writes.insert(0);
+        let (mut d, _h) = faulty(plan);
+        let err = d.write(0, &vec![5u8; BLOCK_SIZE]).unwrap_err();
+        assert!(err.is_transient());
+        d.write(0, &vec![5u8; BLOCK_SIZE]).unwrap(); // retry is seq 1
+        d.flush();
+        assert_eq!(d.read(0, 1).unwrap(), vec![5u8; BLOCK_SIZE]);
+    }
+
+    #[test]
+    fn persistent_failure_window_clears_with_plan() {
+        let plan = FaultPlan { fail_writes_from: Some(0), ..FaultPlan::none() };
+        let (mut d, h) = faulty(plan);
+        assert!(d.write(0, &vec![1u8; BLOCK_SIZE]).is_err());
+        assert!(d.write(0, &vec![1u8; BLOCK_SIZE]).is_err());
+        h.clear_faults();
+        d.write(0, &vec![1u8; BLOCK_SIZE]).unwrap();
+    }
+
+    #[test]
+    fn bitflips_are_reproducible_by_seed() {
+        let run = || {
+            let plan = FaultPlan { bitflip_per_write: 1.0, seed: 42, ..FaultPlan::none() };
+            let (mut d, h) = faulty(plan);
+            d.write(0, &vec![0u8; BLOCK_SIZE]).unwrap();
+            d.flush();
+            (d.read(0, 1).unwrap(), h.trace())
+        };
+        let (a, ta) = run();
+        let (b, tb) = run();
+        assert_eq!(a, b, "same seed, same corruption");
+        assert_eq!(ta, tb);
+        assert_eq!(a.iter().map(|&x| x.count_ones()).sum::<u32>(), 1, "exactly one bit flipped");
+    }
+
+    #[test]
+    fn from_seed_is_deterministic() {
+        let a = FaultPlan::from_seed(9, 500);
+        let b = FaultPlan::from_seed(9, 500);
+        assert_eq!(a.cut_at_write, b.cut_at_write);
+        assert_eq!(a.tear_bytes, b.tear_bytes);
+        assert!(a.cut_at_write.unwrap() < 500);
+    }
+}

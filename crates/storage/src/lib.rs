@@ -13,10 +13,12 @@
 //! * [`raid::Raid0`] — stripes several devices, the testbed's layout.
 
 pub mod device;
+pub mod faulty;
 pub mod nvme;
 pub mod raid;
 
 pub use device::{share, BlockDevice, Completion, DeviceError, SharedDevice};
+pub use faulty::{FaultHandle, FaultPlan, FaultyDevice, WriteOutcome, WriteRecord};
 pub use nvme::{NvmeDevice, NvmeParams};
 pub use raid::Raid0;
 
@@ -32,6 +34,24 @@ pub fn testbed_array(clock: &Clock, per_device_bytes: u64) -> SharedDevice {
         })
         .collect();
     share(Raid0::new(devices, 64 * 1024))
+}
+
+/// Like [`testbed_array`], but wrapped in a [`FaultyDevice`] armed with
+/// `plan`. The handle arms/disarms faults and reads the write trace.
+pub fn faulty_testbed_array(
+    clock: &Clock,
+    per_device_bytes: u64,
+    plan: FaultPlan,
+) -> (SharedDevice, FaultHandle) {
+    let devices: Vec<Box<dyn BlockDevice + Send>> = (0..4)
+        .map(|_| {
+            Box::new(NvmeDevice::new(clock.clone(), NvmeParams::optane_900p(), per_device_bytes))
+                as Box<dyn BlockDevice + Send>
+        })
+        .collect();
+    let raid = Raid0::new(devices, 64 * 1024);
+    let (dev, handle) = FaultyDevice::new(Box::new(raid), plan);
+    (share(dev), handle)
 }
 
 #[cfg(test)]

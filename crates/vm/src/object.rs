@@ -234,6 +234,19 @@ impl Vm {
         }
     }
 
+    /// Re-marks a resident page dirty — the checkpoint abort path: a
+    /// page cleaned by a flush whose epoch was rolled back no longer has
+    /// a durable copy, so it must flush again next checkpoint.
+    pub fn mark_dirty(&mut self, obj: ObjId, pindex: u64) -> Result<(), VmError> {
+        let o = self.objects.get_mut(&obj).ok_or(VmError::NoSuchObject(obj))?;
+        if let Some(PageSlot::Resident { dirty, .. }) = o.pages.get_mut(&pindex) {
+            *dirty = true;
+            Ok(())
+        } else {
+            Err(VmError::NeedsPage { obj, pindex })
+        }
+    }
+
     /// Reads a resident page's bytes (used by the checkpoint flusher).
     pub fn page_bytes(&self, obj: ObjId, pindex: u64) -> Result<&[u8; PAGE_SIZE], VmError> {
         let o = self.objects.get(&obj).ok_or(VmError::NoSuchObject(obj))?;
