@@ -1,0 +1,22 @@
+//! Runs every benchmark in the suite and writes a machine-readable
+//! `BENCH_<name>.json` next to each printed table. Set
+//! `AURORA_BENCH_QUICK=1` for smoke-test sizes (CI), and pass `--out DIR`
+//! to redirect the JSON files.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| ".".to_string());
+    if aurora_bench::quick() {
+        eprintln!("AURORA_BENCH_QUICK set: running shrunken smoke-test sizes");
+    }
+    for (name, run) in aurora_bench::suite::all() {
+        eprintln!("\n##### {name}");
+        let report = run();
+        let path = format!("{out_dir}/BENCH_{name}.json");
+        aurora_bench::write_report(&report, &path);
+    }
+}

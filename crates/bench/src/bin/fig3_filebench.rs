@@ -1,108 +1,6 @@
-//! Figure 3: FileBench microbenchmarks comparing the Aurora file system
-//! (checkpoint consistency over the COW object store) to ZFS (with and
-//! without checksumming) and FFS (SU+J).
-//!
-//! (a) 64 KiB random/sequential write throughput, (b) 4 KiB ditto,
-//! (c) createfiles and write+fsync ops/s, (d) fileserver / varmail /
-//! webserver ops/s.
-
-use aurora_bench::{header, row};
-use aurora_fs::aurora::AuroraFs;
-use aurora_fs::ffs_model::FfsModel;
-use aurora_fs::zfs_model::ZfsModel;
-use aurora_fs::SimFs;
-use aurora_workloads::filebench;
-use aurora_sim::units::{KIB, MIB};
-
-const DEV_BYTES: u64 = 2 << 30;
-
-fn all_fs() -> Vec<Box<dyn SimFs>> {
-    vec![
-        Box::new(ZfsModel::testbed(DEV_BYTES, false)),
-        Box::new(ZfsModel::testbed(DEV_BYTES, true)),
-        Box::new(FfsModel::testbed(DEV_BYTES)),
-        Box::new(AuroraFs::testbed(DEV_BYTES).unwrap()),
-    ]
-}
+//! Thin wrapper over [`aurora_bench::suite::fig3_filebench`]; supports
+//! `--json [PATH]` for machine-readable export.
 
 fn main() {
-    // (a) + (b): write throughput.
-    for (block, label, total) in [(64 * KIB, "64 KiB", 512 * MIB), (4 * KIB, "4 KiB", 128 * MIB)] {
-        header(
-            &format!("Figure 3 ({label} writes): throughput GiB/s"),
-            &["fs", "random", "sequential"],
-        );
-        for mut fs in all_fs() {
-            let rand = filebench::write_bench(fs.as_mut(), block, total, true, 11).unwrap();
-            let mut fs2 = rebuild(&fs.label());
-            let seq = filebench::write_bench(fs2.as_mut(), block, total, false, 11).unwrap();
-            row(&[
-                fs.label(),
-                format!("{:.2}", rand.gib_per_sec()),
-                format!("{:.2}", seq.gib_per_sec()),
-            ]);
-        }
-    }
-    println!(
-        "(paper 3a, sequential: ZFS ~4.5, ZFS+CSUM ~4, FFS ~6.5, Aurora ~7 GiB/s;\n\
-         3b: FFS leads on 4 KiB thanks to fragments, ZFS trails)"
-    );
-
-    // (c): metadata operations.
-    header(
-        "Figure 3(c): file system operations (kops/s)",
-        &["fs", "createfiles", "fsync 4 KiB", "fsync 64 KiB"],
-    );
-    for name in ["ZFS", "ZFS+CSUM", "FFS", "Aurora"] {
-        let mut f1 = rebuild(name);
-        let create = filebench::createfiles(f1.as_mut(), 20_000).unwrap();
-        let mut f2 = rebuild(name);
-        let fs4 = filebench::fsync_bench(f2.as_mut(), 4 * KIB, 5_000).unwrap();
-        let mut f3 = rebuild(name);
-        let fs64 = filebench::fsync_bench(f3.as_mut(), 64 * KIB, 5_000).unwrap();
-        row(&[
-            name.to_string(),
-            format!("{:.0}k", create.ops_per_sec() / 1e3),
-            format!("{:.0}k", fs4.ops_per_sec() / 1e3),
-            format!("{:.0}k", fs64.ops_per_sec() / 1e3),
-        ]);
-    }
-    println!(
-        "(paper: Aurora's createfiles is unoptimized — a global lock — but its\n\
-         fsync is a no-op under checkpoint consistency and leads both columns)"
-    );
-
-    // (d): simulated applications.
-    header(
-        "Figure 3(d): simulated applications (kops/s)",
-        &["fs", "fileserver", "varmail", "webserver"],
-    );
-    for name in ["ZFS", "ZFS+CSUM", "FFS", "Aurora"] {
-        let mut f1 = rebuild(name);
-        let fsrv = filebench::fileserver(f1.as_mut(), 100, 2_000, 3).unwrap();
-        let mut f2 = rebuild(name);
-        let vm = filebench::varmail(f2.as_mut(), 100, 4_000, 3).unwrap();
-        let mut f3 = rebuild(name);
-        let web = filebench::webserver(f3.as_mut(), 100, 1_000, 3).unwrap();
-        row(&[
-            name.to_string(),
-            format!("{:.0}k", fsrv.ops_per_sec() / 1e3),
-            format!("{:.0}k", vm.ops_per_sec() / 1e3),
-            format!("{:.0}k", web.ops_per_sec() / 1e3),
-        ]);
-    }
-    println!(
-        "(paper: comparable on fileserver/webserver; Aurora wins varmail\n\
-         outright because varmail is fsync-bound and fsync is a no-op)"
-    );
-}
-
-fn rebuild(label: &str) -> Box<dyn SimFs> {
-    match label {
-        "ZFS" => Box::new(ZfsModel::testbed(DEV_BYTES, false)),
-        "ZFS+CSUM" => Box::new(ZfsModel::testbed(DEV_BYTES, true)),
-        "FFS" => Box::new(FfsModel::testbed(DEV_BYTES)),
-        "Aurora" => Box::new(AuroraFs::testbed(DEV_BYTES).unwrap()),
-        other => panic!("unknown fs {other}"),
-    }
+    aurora_bench::bench_main(aurora_bench::suite::fig3_filebench::run);
 }

@@ -1,36 +1,6 @@
-//! Figure 4: Memcached at max throughput over varying checkpoint
-//! periods — throughput and latency vs the no-persistence baseline.
-//!
-//! Paper shape: baseline just above 1M ops/s; transparent persistence at
-//! a 10 ms period roughly halves throughput and multiplies latency;
-//! both recover as the period grows (fewer checkpoints per second).
-
-use aurora_bench::memcached_sim::{run, sweep, McSimConfig};
-use aurora_bench::{header, row};
-use aurora_sim::units::{fmt_ns, fmt_ops, MS};
+//! Thin wrapper over [`aurora_bench::suite::fig4_memcached_peak`]; supports
+//! `--json [PATH]` for machine-readable export.
 
 fn main() {
-    header(
-        "Figure 4: Memcached max throughput vs checkpoint period",
-        &["period", "throughput", "avg lat", "p95 lat", "ckpts"],
-    );
-    for (label, period) in sweep() {
-        let r = run(McSimConfig {
-            period_ns: period,
-            duration_ns: 400 * MS,
-            offered_ops_per_sec: None,
-            seed: 1,
-        });
-        row(&[
-            label,
-            fmt_ops(r.throughput),
-            fmt_ns(r.avg_ns),
-            fmt_ns(r.p95_ns),
-            r.checkpoints.to_string(),
-        ]);
-    }
-    println!(
-        "\n(paper: baseline ~1.05M ops/s; with Aurora ~0.5M at 10 ms rising\n\
-         toward baseline as the period grows; latency falls with period)"
-    );
+    aurora_bench::bench_main(aurora_bench::suite::fig4_memcached_peak::run);
 }

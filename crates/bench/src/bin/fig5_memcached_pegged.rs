@@ -1,38 +1,6 @@
-//! Figure 5: Memcached latency with throughput pegged at 120 k ops/s
-//! (15% of peak) over varying checkpoint periods — the worst case for
-//! transparent persistence, where checkpoint stalls dominate instead of
-//! hiding behind network queueing.
-//!
-//! Paper shape: baseline average 157 µs; with persistence the average
-//! rises to ~600 µs even at a 100 ms period, and the 95th percentile is
-//! far above the average (requests caught behind a stop).
-
-use aurora_bench::memcached_sim::{run, sweep, McSimConfig};
-use aurora_bench::{header, row};
-use aurora_sim::units::{fmt_ns, fmt_ops, MS};
+//! Thin wrapper over [`aurora_bench::suite::fig5_memcached_pegged`]; supports
+//! `--json [PATH]` for machine-readable export.
 
 fn main() {
-    header(
-        "Figure 5: Memcached latency at a pegged 120k ops/s",
-        &["period", "throughput", "avg lat", "p95 lat", "ckpts"],
-    );
-    for (label, period) in sweep() {
-        let r = run(McSimConfig {
-            period_ns: period,
-            duration_ns: 400 * MS,
-            offered_ops_per_sec: Some(120_000),
-            seed: 2,
-        });
-        row(&[
-            label,
-            fmt_ops(r.throughput),
-            fmt_ns(r.avg_ns),
-            fmt_ns(r.p95_ns),
-            r.checkpoints.to_string(),
-        ]);
-    }
-    println!(
-        "\n(paper: baseline avg 157 µs; persistence adds latency at every\n\
-         period — more at shorter periods — and inflates the tail)"
-    );
+    aurora_bench::bench_main(aurora_bench::suite::fig5_memcached_pegged::run);
 }

@@ -1,37 +1,6 @@
-//! Table 1: a breakdown of CRIU's checkpointing overheads for a 500 MB
-//! Redis process (the paper's motivating measurement, §2).
-//!
-//! Paper reference: OS state copy 49 ms, memory copy 413 ms, total stop
-//! time 462 ms, IO write 350 ms.
-
-use aurora_apps::redis::Redis;
-use aurora_bench::{header, row};
-use aurora_criu::{criu_dump, CriuCosts};
-use aurora_posix::Kernel;
-use aurora_sim::units::{fmt_ns, MIB};
+//! Thin wrapper over [`aurora_bench::suite::table1_criu`]; supports
+//! `--json [PATH]` for machine-readable export.
 
 fn main() {
-    const DATASET: u64 = 500 * MIB;
-    println!("Populating a 500 MiB Redis instance…");
-    let mut k = Kernel::boot();
-    let mut redis = Redis::launch(&mut k, DATASET / 4096 + 4096).unwrap();
-    redis.populate(&mut k, DATASET).unwrap();
-
-    let (stats, image) = criu_dump(&mut k, redis.pid, &CriuCosts::default()).unwrap();
-
-    header("Table 1: CRIU checkpoint breakdown (500 MB Redis)", &["type", "CRIU", "(paper)"]);
-    row(&["OS state copy".into(), fmt_ns(stats.os_state_ns), fmt_ns(49_000_000)]);
-    row(&["Memory copy".into(), fmt_ns(stats.memory_copy_ns), fmt_ns(413_000_000)]);
-    row(&["Total stop time".into(), fmt_ns(stats.total_stop_ns), fmt_ns(462_000_000)]);
-    row(&["IO write".into(), fmt_ns(stats.io_write_ns), fmt_ns(350_000_000)]);
-    println!(
-        "\nImage: {} MiB across {} process(es); {} objects required sharing inference.",
-        image.bytes / MIB,
-        stats.procs,
-        stats.inferred_objects
-    );
-    println!(
-        "Shape checks: memory copy ≫ OS state; the application is stopped for\n\
-         the entire copy; the write happens after, unsynchronized."
-    );
+    aurora_bench::bench_main(aurora_bench::suite::table1_criu::run);
 }

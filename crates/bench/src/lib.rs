@@ -4,10 +4,100 @@
 //! run them with `cargo run -p aurora-bench --bin <name>` (release mode
 //! recommended). Each prints the paper's reference numbers next to the
 //! reproduction's, so the *shape* comparison is immediate.
+//!
+//! The actual experiment logic lives in [`suite`]; the binaries are thin
+//! wrappers over [`bench_main`], which adds `--json [PATH]` to every one
+//! of them (machine-readable `BENCH_<name>.json` export). The `bench_all`
+//! binary runs the whole suite and writes every report. Set
+//! `AURORA_BENCH_QUICK=1` to shrink workload sizes for smoke runs.
 
 pub mod memcached_sim;
+pub mod suite;
 
 use aurora_sim::stats::summarize_runs;
+
+/// True when `AURORA_BENCH_QUICK` asks for shrunken smoke-test sizes.
+pub fn quick() -> bool {
+    std::env::var("AURORA_BENCH_QUICK").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+}
+
+/// One named measurement of a benchmark: `group` scopes it (a table row,
+/// a configuration), `name` says what was measured, `value` is the raw
+/// number (ns, ops/s, pages — the name carries the unit).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Metric {
+    pub group: String,
+    pub name: String,
+    pub value: f64,
+}
+
+/// A machine-readable benchmark result: everything the printed table
+/// shows, as raw numbers.
+#[derive(Clone, Debug, Default)]
+pub struct BenchReport {
+    /// Benchmark name (`table5_memory_objects`, …) — the `BENCH_<name>`
+    /// stem of the exported file.
+    pub name: String,
+    pub metrics: Vec<Metric>,
+}
+
+impl BenchReport {
+    /// Creates an empty report.
+    pub fn new(name: &str) -> Self {
+        Self { name: name.to_string(), metrics: Vec::new() }
+    }
+
+    /// Records one measurement.
+    pub fn push(&mut self, group: impl Into<String>, name: impl Into<String>, value: f64) {
+        self.metrics.push(Metric { group: group.into(), name: name.into(), value });
+    }
+
+    /// Serializes the report as deterministic JSON (insertion order, no
+    /// wall-clock timestamps — two identical runs produce identical
+    /// bytes).
+    pub fn to_json(&self) -> String {
+        use aurora_trace::json::escape;
+        let mut out = String::with_capacity(256 + self.metrics.len() * 64);
+        out.push_str("{\"bench\":\"");
+        out.push_str(&escape(&self.name));
+        out.push_str("\",\"metrics\":[");
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let v = if m.value.is_finite() { m.value } else { 0.0 };
+            out.push_str(&format!(
+                "{{\"group\":\"{}\",\"name\":\"{}\",\"value\":{}}}",
+                escape(&m.group),
+                escape(&m.name),
+                v
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Writes a report to `path` (the `--json` and `bench_all` export path).
+pub fn write_report(report: &BenchReport, path: &str) {
+    std::fs::write(path, report.to_json())
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("wrote {path}");
+}
+
+/// Entry point for every benchmark binary: runs the suite function and
+/// honors `--json [PATH]` (default `BENCH_<name>.json`).
+pub fn bench_main(run: fn() -> BenchReport) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let report = run();
+    if let Some(i) = args.iter().position(|a| a == "--json") {
+        let path = match args.get(i + 1) {
+            Some(p) if !p.starts_with('-') => p.clone(),
+            _ => format!("BENCH_{}.json", report.name),
+        };
+        write_report(&report, &path);
+    }
+}
 
 /// Prints a table header.
 pub fn header(title: &str, columns: &[&str]) {

@@ -21,7 +21,15 @@ fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("demo");
     match cmd {
-        "demo" => demo(),
+        "demo" => {
+            // sls demo [--trace FILE]: record everything the demo does
+            // and write a Chrome trace-event file loadable in Perfetto.
+            let trace_path = args
+                .iter()
+                .position(|a| a == "--trace")
+                .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| "trace.json".into()));
+            demo(trace_path.as_deref());
+        }
         "help" | "--help" | "-h" => usage(),
         other => {
             eprintln!("unknown or non-interactive command: {other}");
@@ -35,7 +43,10 @@ fn main() {
 fn usage() {
     println!(
         "sls — the Aurora single level store CLI (reproduction)\n\n\
-         USAGE: sls demo\n\n\
+         USAGE: sls demo [--trace FILE]\n\n\
+         --trace FILE  record a deterministic event trace of the demo\n\
+         \x20             and write Chrome trace-event JSON (open it in\n\
+         \x20             Perfetto or chrome://tracing)\n\n\
          The demo walks the paper's Table 2 workflow on a simulated\n\
          machine: attach → periodic checkpoints → named checkpoint →\n\
          ps → crash → restore → time travel → suspend/resume →\n\
@@ -43,9 +54,10 @@ fn usage() {
     );
 }
 
-fn demo() {
+fn demo(trace_path: Option<&str>) {
     println!("Booting a simulated machine (4× Optane-like devices, 64 KiB stripe)…");
     let mut w = World::quickstart();
+    let trace = trace_path.map(|_| w.enable_tracing());
     let pid = w.spawn_counter_app();
     println!("Spawned demo app as pid {}", pid.0);
 
@@ -161,4 +173,16 @@ fn demo() {
     );
 
     println!("\nDemo complete.");
+
+    if let (Some(path), Some(trace)) = (trace_path, trace) {
+        let json = aurora_trace::chrome::export(&trace.events());
+        std::fs::write(path, &json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "Wrote {path}: {} events across the sim/storage/objstore/vm/posix/pipeline layers",
+            trace.event_count()
+        );
+    }
 }

@@ -111,6 +111,7 @@ impl Sls {
         // `released` tracks the absolute per-socket release horizon.
         for gid in &gids {
             let mut to_release: Vec<(u64, usize)> = Vec::new();
+            let mut released_batches: Vec<(u64, u64, u64)> = Vec::new();
             {
                 let g = self.groups.get_mut(gid).expect("listed");
                 while let Some(front) = g.sealed.front() {
@@ -118,9 +119,20 @@ impl Sls {
                         break;
                     }
                     let batch = g.sealed.pop_front().expect("checked front");
+                    released_batches.push((batch.epoch, batch.durable_at, batch.counts.len() as u64));
                     for (sid, upto) in batch.counts {
                         to_release.push((sid, upto));
                     }
+                }
+            }
+            let trace = self.kernel.charge.trace();
+            if trace.is_enabled() {
+                for (epoch, durable_at, sockets) in released_batches {
+                    trace.instant(
+                        "extsync",
+                        "extsync.release",
+                        &[("epoch", epoch), ("durable_at", durable_at), ("sockets", sockets)],
+                    );
                 }
             }
             for (sid, upto) in to_release {

@@ -109,6 +109,8 @@ impl Default for SlsOptions {
 /// One sealed batch of outbound messages awaiting its checkpoint.
 #[derive(Clone, Debug)]
 pub(crate) struct SealedBatch {
+    /// Store epoch of the covering checkpoint.
+    pub epoch: u64,
     /// Release when the clock reaches this (the commit's durability).
     pub durable_at: u64,
     /// Messages sealed per socket id.
@@ -150,6 +152,9 @@ pub struct Sls {
     /// The per-object-kind serializer registry (§5.2) every checkpoint,
     /// restore, and migration dispatches through.
     pub(crate) registry: Arc<registry::SerializerRegistry>,
+    /// The installed trace recorder (disabled by default), kept here so
+    /// a crash/reboot can re-arm the fresh kernel with it.
+    trace: aurora_trace::Trace,
     next_group: u64,
 }
 
@@ -169,6 +174,7 @@ impl Sls {
             groups: HashMap::new(),
             lineage_oids,
             registry: Arc::new(registry::default_registry()),
+            trace: aurora_trace::Trace::disabled(),
             next_group: 1,
         }
     }
@@ -176,6 +182,17 @@ impl Sls {
     /// The serializer registry this instance dispatches through.
     pub fn registry(&self) -> Arc<registry::SerializerRegistry> {
         self.registry.clone()
+    }
+
+    /// Installs a trace recorder on every instrumented layer under this
+    /// SLS: the kernel's cost accountant (whose charge histograms and
+    /// pipeline spans ride on it), the VM, and the object store (which
+    /// forwards the handle to its devices).
+    pub fn install_trace(&mut self, trace: aurora_trace::Trace) {
+        self.kernel.charge.set_trace(trace.clone());
+        self.kernel.vm.set_trace(trace.clone());
+        self.store.lock().set_trace(trace.clone());
+        self.trace = trace;
     }
 
     /// Attaches a process tree to the SLS as a new consistency group
@@ -330,6 +347,14 @@ impl Sls {
             lineage_oids: self.lineage_oids.clone(),
         }));
         self.kernel = kernel;
+        // The reboot replaced the kernel; re-arm its charge accountant
+        // and VM with the installed trace (a reboot is an event worth
+        // seeing in the timeline, not a reason to stop recording).
+        if self.trace.is_enabled() {
+            self.kernel.charge.set_trace(self.trace.clone());
+            self.kernel.vm.set_trace(self.trace.clone());
+            self.trace.instant("core", "machine.reboot", &[]);
+        }
         self.groups.clear();
         Ok(())
     }

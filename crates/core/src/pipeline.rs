@@ -17,7 +17,6 @@ use crate::serial;
 use crate::{GroupId, LineageBinding, SealedBatch, Sls, SlsError};
 use aurora_objstore::{CommitInfo, Oid};
 use aurora_posix::{Pid, VnodeId};
-use aurora_sim::clock::Stopwatch;
 use aurora_vm::{CollapseMode, ObjId, SpaceId};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
@@ -29,6 +28,21 @@ const MAX_ATTEMPTS: u32 = 4;
 /// Backoff before retry `k` is `BACKOFF_BASE_NS << (k - 1)`, charged to
 /// the virtual clock — deterministic, and visible in the stage timings.
 const BACKOFF_BASE_NS: u64 = 50_000;
+
+/// The recorded stage boundaries of one pipeline run: (name, start ns,
+/// duration ns), pipeline order. Always recorded (it is nine tuples);
+/// both [`CheckpointStats`] and the trace exporter read from it.
+#[derive(Default)]
+struct StageSpans(Vec<(&'static str, u64, u64)>);
+
+impl StageSpans {
+    /// Closes the current stage at the clock's now.
+    fn mark(&mut self, clock: &aurora_sim::Clock, last: &mut u64, name: &'static str) {
+        let now = clock.now();
+        self.0.push((name, *last, now - *last));
+        *last = now;
+    }
+}
 
 /// Output of the Quiesce stage: the frozen membership.
 pub struct Quiesced {
@@ -128,50 +142,50 @@ impl<'a> CheckpointPipeline<'a> {
     /// starts clean.
     pub fn run(mut self) -> Result<CheckpointStats, SlsError> {
         let clock = self.sls.kernel.charge.clock().clone();
-        let sw = Stopwatch::start(&clock);
-        let mut last = 0u64;
-        let mark = |last: &mut u64, now: u64| {
-            let d = now - *last;
-            *last = now;
-            d
-        };
+        // Stage boundaries are recorded once into `spans` and consumed by
+        // both the stats breakdown and the trace exporter, so the two
+        // views of the pipeline cannot drift.
+        let t0 = clock.now();
+        let mut last = t0;
+        let mut spans = StageSpans::default();
         let mut stats = CheckpointStats::default();
 
         let q = self.quiesce()?;
-        stats.quiesce_ns = mark(&mut last, sw.elapsed_ns());
+        spans.mark(&clock, &mut last, "quiesce");
         self.collapse(&q)?;
-        stats.collapse_ns = mark(&mut last, sw.elapsed_ns());
+        spans.mark(&clock, &mut last, "collapse");
         self.aio_drain(&q)?;
-        stats.aio_ns = mark(&mut last, sw.elapsed_ns());
+        spans.mark(&clock, &mut last, "aio-drain");
         // Serialize is the first stage that mutates shared state (OID
         // assignment, lineage bindings); snapshot just before it.
         let snap = self.snapshot()?;
         let s = self.serialize(&q)?;
-        stats.os_state_ns = mark(&mut last, sw.elapsed_ns());
+        spans.mark(&clock, &mut last, "serialize");
         self.shadow(&q, &s)?;
-        stats.shadow_ns = mark(&mut last, sw.elapsed_ns());
+        spans.mark(&clock, &mut last, "shadow");
         self.resume(&q)?;
-        stats.resume_ns = mark(&mut last, sw.elapsed_ns());
-        stats.stop_time_ns = last;
+        spans.mark(&clock, &mut last, "resume");
 
         let f = match self.with_retry(&mut stats, |p| p.flush(&s)) {
             Ok(f) => f,
             Err((attempts, cause)) => {
-                stats.flush_ns = mark(&mut last, sw.elapsed_ns());
+                spans.mark(&clock, &mut last, "flush");
+                self.finish_stages(&mut stats, t0, &spans);
                 return self.abort(stats, "flush", attempts, cause, snap);
             }
         };
-        stats.flush_ns = mark(&mut last, sw.elapsed_ns());
+        spans.mark(&clock, &mut last, "flush");
         let sealed = self.seal()?;
-        stats.seal_ns = mark(&mut last, sw.elapsed_ns());
+        spans.mark(&clock, &mut last, "seal");
         let info = match self.with_retry(&mut stats, |p| p.commit(sealed.clone())) {
             Ok(i) => i,
             Err((attempts, cause)) => {
-                stats.commit_ns = mark(&mut last, sw.elapsed_ns());
+                spans.mark(&clock, &mut last, "commit");
+                self.finish_stages(&mut stats, t0, &spans);
                 return self.abort(stats, "commit", attempts, cause, snap);
             }
         };
-        stats.commit_ns = mark(&mut last, sw.elapsed_ns());
+        spans.mark(&clock, &mut last, "commit");
 
         stats.epoch = info.epoch;
         stats.full = q.full;
@@ -179,7 +193,49 @@ impl<'a> CheckpointPipeline<'a> {
         stats.pages_flushed = f.pages_flushed;
         stats.bytes_flushed = f.bytes_flushed;
         stats.durable_at = info.durable_at;
+        self.finish_stages(&mut stats, t0, &spans);
         Ok(stats)
+    }
+
+    /// Fills the per-stage stats fields from the recorded spans and, when
+    /// tracing is on, emits one "pipeline" complete-span per stage plus
+    /// the enclosing "checkpoint" parent span.
+    fn finish_stages(&self, stats: &mut CheckpointStats, t0: u64, spans: &StageSpans) {
+        for &(name, _, dur) in &spans.0 {
+            match name {
+                "quiesce" => stats.quiesce_ns = dur,
+                "collapse" => stats.collapse_ns = dur,
+                "aio-drain" => stats.aio_ns = dur,
+                "serialize" => stats.os_state_ns = dur,
+                "shadow" => stats.shadow_ns = dur,
+                "resume" => stats.resume_ns = dur,
+                "flush" => stats.flush_ns = dur,
+                "seal" => stats.seal_ns = dur,
+                "commit" => stats.commit_ns = dur,
+                _ => unreachable!("unknown stage {name}"),
+            }
+        }
+        stats.stop_time_ns = stats.quiesce_ns
+            + stats.collapse_ns
+            + stats.aio_ns
+            + stats.os_state_ns
+            + stats.shadow_ns
+            + stats.resume_ns;
+        let trace = self.sls.kernel.charge.trace();
+        if trace.is_enabled() {
+            let end = spans.0.last().map(|&(_, s, d)| s + d).unwrap_or(t0);
+            trace.complete(
+                "pipeline",
+                "checkpoint",
+                t0,
+                end - t0,
+                &[("epoch", stats.epoch), ("full", stats.full as u64)],
+            );
+            for &(name, start, dur) in &spans.0 {
+                trace.complete("pipeline", name, start, dur, &[]);
+                trace.hist(&format!("stage.{name}"), dur);
+            }
+        }
     }
 
     /// Captures the live-world state the later stages mutate.
@@ -209,7 +265,16 @@ impl<'a> CheckpointPipeline<'a> {
                 Ok(v) => return Ok(v),
                 Err(e) if e.is_transient() && attempts < MAX_ATTEMPTS => {
                     stats.retries += 1;
-                    self.sls.kernel.charge.raw(BACKOFF_BASE_NS << (attempts - 1));
+                    let backoff = BACKOFF_BASE_NS << (attempts - 1);
+                    let trace = self.sls.kernel.charge.trace();
+                    if trace.is_enabled() {
+                        trace.instant(
+                            "pipeline",
+                            "pipeline.retry",
+                            &[("attempt", attempts as u64), ("backoff_ns", backoff)],
+                        );
+                    }
+                    self.sls.kernel.charge.raw(backoff);
                 }
                 Err(e) => return Err((attempts, e)),
             }
@@ -231,6 +296,10 @@ impl<'a> CheckpointPipeline<'a> {
         cause: SlsError,
         snap: Snapshot,
     ) -> Result<CheckpointStats, SlsError> {
+        let trace = self.sls.kernel.charge.trace();
+        if trace.is_enabled() {
+            trace.instant("pipeline", "pipeline.abort", &[("attempts", attempts as u64)]);
+        }
         self.sls.store.lock().abort_epoch();
         if let Some(g) = self.sls.groups.get_mut(&self.gid) {
             g.oidmap = snap.oidmap;
@@ -461,7 +530,24 @@ impl<'a> CheckpointPipeline<'a> {
         g.pending_durable = info.durable_at;
         g.last_checkpoint_ns = now;
         if g.opts.external_synchrony {
-            g.sealed.push_back(SealedBatch { durable_at: info.durable_at, counts: sealed_counts });
+            let trace = self.sls.kernel.charge.trace();
+            if trace.is_enabled() {
+                trace.instant(
+                    "extsync",
+                    "extsync.seal",
+                    &[
+                        ("epoch", info.epoch),
+                        ("durable_at", info.durable_at),
+                        ("sockets", sealed_counts.len() as u64),
+                    ],
+                );
+            }
+            let g = self.sls.groups.get_mut(&self.gid).expect("checked above");
+            g.sealed.push_back(SealedBatch {
+                epoch: info.epoch,
+                durable_at: info.durable_at,
+                counts: sealed_counts,
+            });
         }
         Ok(info)
     }

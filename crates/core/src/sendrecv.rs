@@ -38,7 +38,16 @@ impl Sls {
             e.u32(bytes.len() as u32);
             e.raw(&bytes);
         }
-        Ok(e.finish_vec())
+        let out = e.finish_vec();
+        let trace = self.kernel.charge.trace();
+        if trace.is_enabled() {
+            trace.instant(
+                "core",
+                "sendrecv.send",
+                &[("epoch", epoch), ("bytes", out.len() as u64)],
+            );
+        }
+        Ok(out)
     }
 
     /// Imports a stream produced by [`send_stream`](Sls::send_stream)
@@ -79,6 +88,19 @@ impl Sls {
         }
         let info = store.commit()?;
         store.barrier(info);
+        drop(store);
+        let trace = self.kernel.charge.trace();
+        if trace.is_enabled() {
+            trace.instant(
+                "core",
+                "sendrecv.recv",
+                &[
+                    ("epoch", info.epoch),
+                    ("objects", count as u64),
+                    ("bytes", stream.len() as u64),
+                ],
+            );
+        }
         Ok(manifests)
     }
 

@@ -50,6 +50,16 @@ impl World {
         (Self { sls: Sls::new(kernel, store), clock }, handle)
     }
 
+    /// Turns on tracing for the whole machine, stamping every event with
+    /// the shared virtual clock. Returns the recording handle; export it
+    /// with [`aurora_trace::chrome::export`] or read it back directly.
+    pub fn enable_tracing(&mut self) -> aurora_trace::Trace {
+        let clock = self.clock.clone();
+        let trace = aurora_trace::Trace::recording(move || clock.now());
+        self.sls.install_trace(trace.clone());
+        trace
+    }
+
     /// Spawns a toy application: one process with a 16-page counter
     /// region at a known address. Returns its pid.
     pub fn spawn_counter_app(&mut self) -> Pid {

@@ -1,0 +1,156 @@
+//! Trace-subsystem integration tests: external-synchrony ordering
+//! proven from the recorded event stream, byte-identical exports across
+//! identical runs, and the zero-cost-when-disabled contract (tracing
+//! never perturbs the virtual timeline).
+
+use aurora_core::world::World;
+use aurora_core::{AuroraApi, CheckpointStats, SlsOptions};
+use aurora_trace::{Phase, Trace, TraceEvent};
+
+/// A deterministic workload exercising checkpoint rounds, a crash, and
+/// recovery. Returns every committed checkpoint's stats plus the final
+/// virtual time.
+fn counter_workload(w: &mut World) -> (Vec<CheckpointStats>, u64) {
+    let pid = w.spawn_counter_app();
+    let gid = w.sls.attach(pid, SlsOptions::default()).unwrap();
+    let mut all = Vec::new();
+    all.push(w.sls.sls_checkpoint(gid).unwrap());
+    for _ in 0..4 {
+        w.bump_counter(pid).unwrap();
+        w.clock.advance(10_000_000);
+        all.extend(w.sls.tick().unwrap());
+    }
+    w.sls.sls_barrier(gid).unwrap();
+    w.sls.crash_and_reboot().unwrap();
+    let epoch = w.sls.store().lock().last_epoch().unwrap();
+    let manifest = w.sls.manifests_at(epoch).unwrap()[0];
+    w.sls.restore_image(manifest, epoch, aurora_core::RestoreMode::Full).unwrap();
+    (all, w.clock.now())
+}
+
+/// An external-synchrony workload: a server responds over a socketpair,
+/// and each response is held until its covering checkpoint is durable.
+fn extsync_workload(w: &mut World) {
+    let k = &mut w.sls.kernel;
+    let server = k.spawn("server");
+    let client = k.spawn("client");
+    let (s_srv, s_cli) = k.socketpair(server).unwrap();
+    let fid = k.resolve(server, s_cli).unwrap();
+    k.proc_mut(server).unwrap().fdtable.remove(s_cli).unwrap();
+    let s_cli = k.proc_mut(client).unwrap().fdtable.install(fid);
+
+    let gid = w.sls.attach(server, SlsOptions::default()).unwrap();
+    w.sls.sls_checkpoint(gid).unwrap();
+    w.sls.sls_barrier(gid).unwrap();
+
+    for round in 0..3u64 {
+        w.sls.kernel.send(server, s_srv, format!("response {round}").as_bytes()).unwrap();
+        w.sls.pump_external_synchrony();
+        w.sls.sls_checkpoint(gid).unwrap();
+        w.sls.sls_barrier(gid).unwrap();
+        let (msg, _) = w.sls.kernel.recvmsg(client, s_cli).unwrap();
+        assert_eq!(msg, format!("response {round}").as_bytes());
+    }
+}
+
+fn arg(e: &TraceEvent, key: &str) -> u64 {
+    e.args
+        .iter()
+        .find(|(k, _)| *k == key)
+        .unwrap_or_else(|| panic!("event {} missing arg {key}", e.name))
+        .1
+}
+
+/// Satellite: prove external synchrony from the event stream itself —
+/// no output release may precede the durable commit of the epoch that
+/// covers it.
+#[test]
+fn trace_shows_no_release_before_durable_commit() {
+    let mut w = World::quickstart();
+    let trace = w.enable_tracing();
+    extsync_workload(&mut w);
+    let events = trace.events();
+
+    let releases: Vec<&TraceEvent> =
+        events.iter().filter(|e| e.name == "extsync.release").collect();
+    assert!(!releases.is_empty(), "workload produced no extsync releases");
+
+    for rel in releases {
+        let epoch = arg(rel, "epoch");
+        let durable_at = arg(rel, "durable_at");
+        // The release itself happens at or after the durability horizon
+        // it claims.
+        assert!(
+            rel.ts >= durable_at,
+            "release for epoch {epoch} at t={} precedes durability at {durable_at}",
+            rel.ts
+        );
+        // That claim is backed by the store: the epoch's commit event
+        // exists, agrees on the horizon, and precedes the release.
+        let commit = events
+            .iter()
+            .find(|e| e.name == "epoch.commit" && arg(e, "epoch") == epoch)
+            .unwrap_or_else(|| panic!("no epoch.commit event for released epoch {epoch}"));
+        assert_eq!(
+            arg(commit, "durable_at"),
+            durable_at,
+            "release and commit disagree on the durability horizon of epoch {epoch}"
+        );
+        assert!(rel.ts >= commit.ts, "release precedes the commit record");
+        // And the pipeline sealed the sockets for that epoch before any
+        // of it was released.
+        let seal = events
+            .iter()
+            .find(|e| e.name == "extsync.seal" && arg(e, "epoch") == epoch)
+            .unwrap_or_else(|| panic!("no extsync.seal event for released epoch {epoch}"));
+        assert!(seal.ts <= rel.ts, "seal recorded after its own release");
+    }
+}
+
+/// Satellite: two identical runs export byte-identical Chrome traces —
+/// the recorder is stamped by the virtual clock only.
+#[test]
+fn identical_runs_export_identical_traces() {
+    let run = || {
+        let mut w = World::quickstart();
+        let trace = w.enable_tracing();
+        counter_workload(&mut w);
+        aurora_trace::chrome::export(&trace.events())
+    };
+    let a = run();
+    let b = run();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "identical runs diverged in their trace exports");
+}
+
+/// Satellite: enabling tracing never perturbs the virtual timeline —
+/// every checkpoint's stats and the final clock are bit-identical to a
+/// run with the recorder disabled.
+#[test]
+fn tracing_is_invisible_to_the_virtual_clock() {
+    let mut plain = World::quickstart();
+    let (stats_plain, end_plain) = counter_workload(&mut plain);
+
+    let mut traced = World::quickstart();
+    let trace = traced.enable_tracing();
+    let (stats_traced, end_traced) = counter_workload(&mut traced);
+
+    assert!(trace.event_count() > 0, "recording trace captured nothing");
+    assert_eq!(stats_plain, stats_traced, "tracing changed checkpoint timings");
+    assert_eq!(end_plain, end_traced, "tracing changed the virtual end time");
+}
+
+/// The disabled handle records nothing and a recording handle's instants
+/// carry the phase they were recorded with.
+#[test]
+fn disabled_trace_records_nothing() {
+    let t = Trace::disabled();
+    t.instant("core", "never", &[]);
+    t.complete("core", "never", 0, 1, &[]);
+    assert_eq!(t.event_count(), 0);
+
+    let mut w = World::quickstart();
+    let trace = w.enable_tracing();
+    counter_workload(&mut w);
+    assert!(trace.events().iter().any(|e| e.ph == Phase::Complete && e.name == "checkpoint"));
+}

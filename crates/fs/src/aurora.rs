@@ -71,6 +71,14 @@ impl AuroraFs {
             self.pending_durable_ns = self.pending_durable_ns.max(info.durable_at);
             self.last_commit_ns = now;
             self.commits += 1;
+            let trace = self.store.charge().trace();
+            if trace.is_enabled() {
+                trace.instant(
+                    "fs",
+                    "fs.checkpoint",
+                    &[("epoch", info.epoch), ("durable_at", info.durable_at)],
+                );
+            }
         }
         Ok(())
     }

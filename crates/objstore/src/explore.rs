@@ -313,6 +313,10 @@ impl Explorer {
         let mut rec = store.crash_and_recover().unwrap_or_else(|e| {
             panic!("crash point {cut}: recovery failed: {e}");
         });
+        // Every recovered page version must still match its write-time
+        // checksum — a crash (even a torn one) may lose writes but must
+        // never surface silently corrupted data.
+        rec.scrub().unwrap_or_else(|e| panic!("crash point {cut}: scrub failed: {e}"));
 
         // Invariant 1: recovered epochs are a contiguous range of the
         // golden run's commit order, and nothing barriered is lost.

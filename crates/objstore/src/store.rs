@@ -147,8 +147,9 @@ pub type Result<T> = std::result::Result<T, StoreError>;
 struct ObjMeta {
     kind_raw: u16,
     size: u64,
-    /// Per-page version chain: `(commit epoch, device block)` ascending.
-    versions: HashMap<u64, Vec<(u64, u64)>>,
+    /// Per-page version chain, ascending by epoch:
+    /// `(commit epoch, device block, FNV-1a of the page data)`.
+    versions: HashMap<u64, Vec<(u64, u64, u64)>>,
     /// Serialized object metadata per epoch, ascending.
     meta: Vec<(u64, Vec<u8>)>,
     created_epoch: u64,
@@ -184,10 +185,14 @@ const MAGIC: u64 = 0x4155_524f_5241_5354; // "AURORAST"
 const SUPERBLOCK_VERSION: u16 = 1;
 // v2 added the retained-history floor to the commit record, making
 // `drop_oldest_checkpoint` crash-safe.
-const RECORD_VERSION: u16 = 2;
+// v3 added a per-page FNV-1a data checksum to every page version, so
+// silent medium corruption is caught at read time rather than handed to
+// the application.
+const RECORD_VERSION: u16 = 3;
 
-/// FNV-1a 64-bit, used to validate metadata records at recovery.
-fn fnv1a(data: &[u8]) -> u64 {
+/// FNV-1a 64-bit, used to validate metadata records at recovery and,
+/// since record v3, every data page.
+pub(crate) fn fnv1a(data: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in data {
         h ^= b as u64;
@@ -340,6 +345,10 @@ impl ObjectStore {
                 break; // incomplete commit: data raced the crash
             }
             self.apply_record(epoch, &payload[..len])?;
+            let trace = self.charge.trace();
+            if trace.is_enabled() {
+                trace.instant("objstore", "recovery.replay", &[("epoch", epoch), ("bytes", len as u64)]);
+            }
             self.epochs.push(epoch);
             self.floor = self.floor.max(floor);
             self.cur_epoch = epoch + 1;
@@ -360,7 +369,7 @@ impl ObjectStore {
         let mut high = self.data_start;
         for o in self.objects.values() {
             for vs in o.versions.values() {
-                for &(_, b) in vs {
+                for &(_, b, _) in vs {
                     high = high.max(b + 1);
                 }
             }
@@ -400,7 +409,8 @@ impl ObjectStore {
             for _ in 0..npages {
                 let pindex = d.u64()?;
                 let block = d.u64()?;
-                obj.versions.entry(pindex).or_default().push((epoch, block));
+                let csum = d.u64()?;
+                obj.versions.entry(pindex).or_default().push((epoch, block, csum));
             }
             let has_journal = d.bool()?;
             if has_journal {
@@ -470,6 +480,12 @@ impl ObjectStore {
         &self.charge
     }
 
+    /// Installs a trace recorder on the store and its device stack.
+    pub fn set_trace(&mut self, trace: aurora_trace::Trace) {
+        self.charge.set_trace(trace.clone());
+        self.dev.lock().set_trace(trace);
+    }
+
     // ------------------------------------------------------------------
     // Object mutation (current epoch)
     // ------------------------------------------------------------------
@@ -516,18 +532,22 @@ impl ObjectStore {
         };
         self.charge.encode(PAGE as u64);
         self.dirty.max_completion = self.dirty.max_completion.max(completion.done_at);
+        // Checksum the clean page as handed to the device; anything the
+        // medium flips afterwards is caught at read time.
+        let csum = fnv1a(data);
         let epoch = self.cur_epoch;
         let o = self.objects.get_mut(&oid.0).expect("checked above");
         o.size = o.size.max((pindex + 1) * PAGE as u64);
         let vs = o.versions.entry(pindex).or_default();
         match vs.last_mut() {
-            Some((e, b)) if *e == epoch => {
+            Some((e, b, c)) if *e == epoch => {
                 // Rewritten within the same (uncommitted) epoch: the old
                 // block was never committed and is immediately free.
                 self.free_blocks.push(*b);
                 *b = block;
+                *c = csum;
             }
-            _ => vs.push((epoch, block)),
+            _ => vs.push((epoch, block, csum)),
         }
         self.dirty.objects.insert(oid.0);
         Ok(())
@@ -610,15 +630,17 @@ impl ObjectStore {
         let epoch = self.cur_epoch;
         let o = self.objects.get_mut(&oid.0).expect("checked above");
         let mut recycled = Vec::new();
-        for (&(block, pindex), _) in placed.iter().zip(pages) {
+        for (&(block, pindex), (_, data)) in placed.iter().zip(pages) {
+            let csum = fnv1a(data);
             o.size = o.size.max((pindex + 1) * PAGE as u64);
             let vs = o.versions.entry(pindex).or_default();
             match vs.last_mut() {
-                Some((e, b)) if *e == epoch => {
+                Some((e, b, c)) if *e == epoch => {
                     recycled.push(*b);
                     *b = block;
+                    *c = csum;
                 }
-                _ => vs.push((epoch, block)),
+                _ => vs.push((epoch, block, csum)),
             }
         }
         self.free_blocks.extend(recycled);
@@ -681,18 +703,19 @@ impl ObjectStore {
                 }
                 _ => body.bool(false),
             }
-            let pages: Vec<(u64, u64)> = o
+            let pages: Vec<(u64, u64, u64)> = o
                 .versions
                 .iter()
                 .filter_map(|(&pi, vs)| match vs.last() {
-                    Some(&(e, b)) if e == epoch => Some((pi, b)),
+                    Some(&(e, b, c)) if e == epoch => Some((pi, b, c)),
                     _ => None,
                 })
                 .collect();
             body.u32(pages.len() as u32);
-            for (pi, b) in pages {
+            for (pi, b, c) in pages {
                 body.u64(pi);
                 body.u64(b);
+                body.u64(c);
             }
             match &o.journal {
                 Some(j) if o.created_epoch == epoch => {
@@ -742,6 +765,20 @@ impl ObjectStore {
             dev.write_after(self.meta_head, &header_block, c1)
                 .map_err(StoreError::dev("commit-header", None, epoch))?
         };
+        let trace = self.charge.trace();
+        if trace.is_enabled() {
+            trace.instant(
+                "objstore",
+                "epoch.commit",
+                &[
+                    ("epoch", epoch),
+                    ("durable_at", durable.done_at),
+                    ("objects", self.dirty.objects.len() as u64),
+                    ("meta_bytes", (1 + nblocks) * PAGE as u64),
+                ],
+            );
+            trace.instant("objstore", "epoch.open", &[("epoch", epoch + 1)]);
+        }
         self.meta_head += 1 + nblocks;
         self.epochs.push(epoch);
         self.cur_epoch = epoch + 1;
@@ -832,7 +869,7 @@ impl ObjectStore {
         let mut v: Vec<u64> = o
             .versions
             .iter()
-            .filter(|(_, vs)| vs.iter().any(|&(e, _)| e <= epoch))
+            .filter(|(_, vs)| vs.iter().any(|&(e, _, _)| e <= epoch))
             .map(|(&pi, _)| pi)
             .collect();
         v.sort();
@@ -846,8 +883,8 @@ impl ObjectStore {
         let vs = o.versions.get(&pindex).ok_or(StoreError::NoSuchPage(oid, pindex))?;
         vs.iter()
             .rev()
-            .find(|(e, _)| *e <= epoch)
-            .map(|&(e, _)| e)
+            .find(|(e, _, _)| *e <= epoch)
+            .map(|&(e, _, _)| e)
             .ok_or(StoreError::NoSuchPage(oid, pindex))
     }
 
@@ -863,20 +900,52 @@ impl ObjectStore {
             .ok_or(StoreError::NoSuchPage(oid, 0))
     }
 
+    /// Verifies a page read back from the device against its recorded
+    /// write-time checksum. A mismatch is silent medium corruption —
+    /// fatal, never retried (the block itself is wrong, not the bus).
+    fn verify_page(
+        &self,
+        op: &'static str,
+        oid: Oid,
+        epoch: u64,
+        block: u64,
+        expect: u64,
+        data: &[u8],
+    ) -> Result<()> {
+        if fnv1a(data) == expect {
+            return Ok(());
+        }
+        let trace = self.charge.trace();
+        if trace.is_enabled() {
+            trace.instant(
+                "objstore",
+                "checksum.mismatch",
+                &[("oid", oid.0), ("epoch", epoch), ("block", block)],
+            );
+        }
+        Err(StoreError::Device {
+            op,
+            oid: Some(oid),
+            epoch,
+            source: DeviceError::Io { lba: block, transient: false },
+        })
+    }
+
     /// Reads one page as of `epoch` (synchronous device read).
     pub fn read_page(&mut self, oid: Oid, pindex: u64, epoch: u64) -> Result<[u8; PAGE]> {
         self.check_epoch(epoch)?;
         let o = self.objects.get(&oid.0).ok_or(StoreError::NoSuchObject(oid))?;
         let vs = o.versions.get(&pindex).ok_or(StoreError::NoSuchPage(oid, pindex))?;
-        let &(_, block) = vs
+        let &(_, block, csum) = vs
             .iter()
             .rev()
-            .find(|(e, _)| *e <= epoch)
+            .find(|(e, _, _)| *e <= epoch)
             .ok_or(StoreError::NoSuchPage(oid, pindex))?;
         let data = {
             let mut dev = self.dev.lock();
             dev.read(block, 1).map_err(StoreError::dev("read-page", Some(oid), epoch))?
         };
+        self.verify_page("verify-page", oid, epoch, block, csum, &data)?;
         Ok(data.as_slice().try_into().expect("one block"))
     }
 
@@ -892,19 +961,18 @@ impl ObjectStore {
     ) -> Result<Vec<(u64, [u8; PAGE])>> {
         self.check_epoch(epoch)?;
         let o = self.objects.get(&oid.0).ok_or(StoreError::NoSuchObject(oid))?;
-        let mut located: Vec<(u64, u64)> = Vec::with_capacity(pindices.len());
+        let mut located: Vec<(u64, u64, u64)> = Vec::with_capacity(pindices.len());
         for &pi in pindices {
             let vs = o.versions.get(&pi).ok_or(StoreError::NoSuchPage(oid, pi))?;
-            let &(_, block) = vs
+            let &(_, block, csum) = vs
                 .iter()
                 .rev()
-                .find(|(e, _)| *e <= epoch)
+                .find(|(e, _, _)| *e <= epoch)
                 .ok_or(StoreError::NoSuchPage(oid, pi))?;
-            located.push((pi, block));
+            located.push((pi, block, csum));
         }
-        located.sort_by_key(|&(_, b)| b);
+        located.sort_by_key(|&(_, b, _)| b);
         let mut out = Vec::with_capacity(located.len());
-        let mut dev = self.dev.lock();
         // A restore issues its whole read plan at once (deep NVMe
         // queues); it completes when the slowest extent does.
         let issue_at = self.charge.clock().now();
@@ -916,13 +984,16 @@ impl ObjectStore {
                 j += 1;
             }
             let run = &located[i..j];
-            let (data, d) = dev
+            let (data, d) = self
+                .dev
+                .lock()
                 .read_from(run[0].1, run.len() as u64, issue_at)
                 .map_err(StoreError::dev("read-pages-bulk", Some(oid), epoch))?;
             done = done.max(d);
-            for (k, &(pi, _)) in run.iter().enumerate() {
-                let page: [u8; PAGE] =
-                    data[k * PAGE..(k + 1) * PAGE].try_into().expect("exact page");
+            for (k, &(pi, block, csum)) in run.iter().enumerate() {
+                let bytes = &data[k * PAGE..(k + 1) * PAGE];
+                self.verify_page("verify-page", oid, epoch, block, csum, bytes)?;
+                let page: [u8; PAGE] = bytes.try_into().expect("exact page");
                 out.push((pi, page));
             }
             i = j;
@@ -956,15 +1027,16 @@ impl ObjectStore {
         let last = self.last_epoch().ok_or(StoreError::NoSuchEpoch(0))?;
         let o = self.objects.get(&oid.0).ok_or(StoreError::NoSuchObject(oid))?;
         let vs = o.versions.get(&pindex).ok_or(StoreError::NoSuchPage(oid, pindex))?;
-        let &(_, block) = vs
+        let &(_, block, csum) = vs
             .iter()
             .rev()
-            .find(|&&(e, _)| e <= last && (e <= floor || e >= resume))
+            .find(|&&(e, _, _)| e <= last && (e <= floor || e >= resume))
             .ok_or(StoreError::NoSuchPage(oid, pindex))?;
         let data = {
             let mut dev = self.dev.lock();
             dev.read(block, 1).map_err(StoreError::dev("read-page-pinned", Some(oid), last))?
         };
+        self.verify_page("verify-page", oid, last, block, csum, &data)?;
         Ok(data.as_slice().try_into().expect("one block"))
     }
 
@@ -972,6 +1044,39 @@ impl ObjectStore {
     /// branch resumes from.
     pub fn current_epoch(&self) -> u64 {
         self.cur_epoch
+    }
+
+    /// Verifies the data checksum of every committed page version in the
+    /// store, returning the number of pages scanned. Journal blocks are
+    /// excluded: journals update in place (non-COW), so they carry no
+    /// per-block write-time checksum.
+    ///
+    /// Crash-schedule recovery runs this after every reopen, turning
+    /// silent corruption anywhere in history into a hard
+    /// [`StoreError::Device`] instead of a latent wrong read.
+    pub fn scrub(&mut self) -> Result<u64> {
+        let mut plan: Vec<(u64, u64, u64, u64)> = Vec::new(); // (oid, epoch, block, csum)
+        for (&oid, o) in &self.objects {
+            for vs in o.versions.values() {
+                for &(epoch, block, csum) in vs {
+                    plan.push((oid, epoch, block, csum));
+                }
+            }
+        }
+        // Scan in block order: one sequential pass over the data region.
+        plan.sort_by_key(|&(_, _, b, _)| b);
+        for (oid, epoch, block, csum) in &plan {
+            let data = {
+                let mut dev = self.dev.lock();
+                dev.read(*block, 1).map_err(StoreError::dev("scrub", Some(Oid(*oid)), *epoch))?
+            };
+            self.verify_page("scrub", Oid(*oid), *epoch, *block, *csum, &data)?;
+        }
+        let trace = self.charge.trace();
+        if trace.is_enabled() {
+            trace.instant("objstore", "scrub.done", &[("pages", plan.len() as u64)]);
+        }
+        Ok(plan.len() as u64)
     }
 
     // ------------------------------------------------------------------
@@ -1015,7 +1120,7 @@ impl ObjectStore {
         for oid in dead {
             let o = self.objects.remove(&oid).expect("listed");
             for (_, vs) in o.versions {
-                for (_, b) in vs {
+                for (_, b, _) in vs {
                     freed.push(b);
                 }
             }
@@ -1048,6 +1153,10 @@ impl ObjectStore {
     /// commit left it, so the next checkpoint starts clean.
     pub fn abort_epoch(&mut self) {
         let epoch = self.cur_epoch;
+        let trace = self.charge.trace();
+        if trace.is_enabled() {
+            trace.instant("objstore", "epoch.abort", &[("epoch", epoch)]);
+        }
         let dirty = std::mem::take(&mut self.dirty);
         let mut freed = Vec::new();
         for oid in dirty.objects {
@@ -1056,7 +1165,7 @@ impl ObjectStore {
                 Some(o) if o.created_epoch == epoch => true,
                 Some(o) => {
                     for vs in o.versions.values_mut() {
-                        while matches!(vs.last(), Some(&(e, _)) if e == epoch) {
+                        while matches!(vs.last(), Some(&(e, _, _)) if e == epoch) {
                             freed.push(vs.pop().expect("just matched").1);
                         }
                     }
@@ -1074,7 +1183,7 @@ impl ObjectStore {
                 // The object never existed in any committed epoch.
                 let o = self.objects.remove(&oid).expect("present");
                 for (_, vs) in o.versions {
-                    for (_, b) in vs {
+                    for (_, b, _) in vs {
                         freed.push(b);
                     }
                 }

@@ -141,9 +141,10 @@ fn transient_error_during_commit_is_retryable() {
 }
 
 /// Silent bit-flips never panic recovery: metadata corruption is caught
-/// by checksums (the store simply recovers less history), and the epoch
-/// set is still a contiguous range. Data-page flips are undetectable —
-/// the store has no data checksums (documented gap, DESIGN.md §8).
+/// by record checksums (the store simply recovers less history), the
+/// epoch set is still a contiguous range, and — since per-page data
+/// checksums landed — a post-recovery scrub either passes or reports
+/// data corruption as a *fatal* device error, never a wrong read.
 #[test]
 fn bitflips_degrade_gracefully() {
     for seed in [1u64, 2, 3, 4, 5] {
@@ -161,7 +162,7 @@ fn bitflips_degrade_gracefully() {
             store.barrier(c);
             committed.push(c.epoch);
         }
-        let rec = store.crash_and_recover().unwrap_or_else(|e| {
+        let mut rec = store.crash_and_recover().unwrap_or_else(|e| {
             panic!("seed {seed}: recovery must not fail on bit-flips: {e}")
         });
         let recovered = rec.epochs().to_vec();
@@ -170,8 +171,72 @@ fn bitflips_degrade_gracefully() {
                 || recovered.is_empty(),
             "seed {seed}: recovered epochs {recovered:?} not contiguous in {committed:?}"
         );
+        // Scrub catches any data-page flip that made it into a committed
+        // epoch, and reports it as fatal (a retry cannot fix the medium).
+        if let Err(e) = rec.scrub() {
+            assert!(
+                matches!(e, StoreError::Device { op: "scrub", .. }) && !e.is_transient(),
+                "seed {seed}: scrub error must be a fatal device error, got {e}"
+            );
+        }
         // Idempotence still holds.
         let again = ObjectStore::open(rec.device().clone(), rec.charge().clone()).unwrap();
         assert_eq!(again.epochs(), rec.epochs());
     }
+}
+
+/// The checksum satellite's proof-of-detection: flip one bit of a data
+/// page on its way to the medium and the very next read reports a fatal
+/// `StoreError::Device` instead of returning corrupted data.
+#[test]
+fn bitflip_on_data_page_is_detected_at_read() {
+    let clock = Clock::new();
+    let (dev, handle) = faulty_testbed_array(&clock, 1 << 26, FaultPlan::none());
+    let charge = Charge::new(clock, CostModel::default());
+    let mut store = ObjectStore::format(dev, charge, 1024).unwrap();
+    let oid = store.alloc_oid();
+    store.create_object(oid, ObjectKind::Memory).unwrap();
+
+    // Corrupt exactly the page-data write; the commit record stays clean.
+    handle.set_plan(FaultPlan { bitflip_per_write: 1.0, seed: 7, ..FaultPlan::none() });
+    store.write_page(oid, 0, &[0x5Au8; PAGE]).unwrap();
+    handle.clear_faults();
+    let c = store.commit().unwrap();
+    store.barrier(c);
+
+    let err = store.read_page(oid, 0, c.epoch).unwrap_err();
+    assert!(
+        matches!(err, StoreError::Device { op: "verify-page", oid: Some(o), .. } if o == oid),
+        "expected a verify-page device error, got {err}"
+    );
+    assert!(!err.is_transient(), "medium corruption must be fatal, not retried");
+
+    // The bulk path and the scrub detect it too.
+    assert!(store.read_pages_bulk(oid, c.epoch, &[0]).is_err());
+    let scrub_err = store.scrub().unwrap_err();
+    assert!(matches!(scrub_err, StoreError::Device { op: "scrub", .. }));
+
+    // Recovery itself survives; the corrupt page stays poisoned after
+    // reopen because the checksum rides in the commit record.
+    let mut rec = store.crash_and_recover().unwrap();
+    assert!(rec.read_page(oid, 0, c.epoch).is_err(), "corruption detected across recovery");
+}
+
+/// Clean writes scrub clean, including across a crash/recover cycle.
+#[test]
+fn scrub_passes_on_clean_history() {
+    let clock = Clock::new();
+    let (dev, _handle) = faulty_testbed_array(&clock, 1 << 26, FaultPlan::none());
+    let charge = Charge::new(clock, CostModel::default());
+    let mut store = ObjectStore::format(dev, charge, 1024).unwrap();
+    let oid = store.alloc_oid();
+    store.create_object(oid, ObjectKind::Memory).unwrap();
+    for i in 0..6u8 {
+        store.write_page(oid, i as u64, &[i; PAGE]).unwrap();
+        let c = store.commit().unwrap();
+        store.barrier(c);
+    }
+    assert_eq!(store.scrub().unwrap(), 6);
+    let mut rec = store.crash_and_recover().unwrap();
+    assert_eq!(rec.scrub().unwrap(), 6, "checksums survive the commit record round-trip");
 }

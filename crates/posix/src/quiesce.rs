@@ -27,9 +27,15 @@ impl Kernel {
     /// Quiesces every thread of `pids` at the kernel boundary. Charges
     /// IPI and drain costs to the clock.
     pub fn quiesce(&mut self, pids: &[Pid]) -> Result<QuiesceReport> {
+        let trace = self.charge.trace().clone();
+        let start = if trace.is_enabled() { trace.now() } else { 0 };
         let mut report = QuiesceReport::default();
         let mut tids = Vec::new();
         for &pid in pids {
+            let threads = self.proc(pid)?.threads.len() as u64;
+            if trace.is_enabled() {
+                trace.instant("posix", "quiesce.pid", &[("pid", pid.0 as u64), ("threads", threads)]);
+            }
             tids.extend(self.proc(pid)?.threads.iter().copied());
         }
         // One IPI per core the group occupies, plus the boundary drain.
@@ -52,6 +58,21 @@ impl Kernel {
             }
             t.state = ThreadState::Stopped;
             report.threads += 1;
+        }
+        if trace.is_enabled() {
+            let dur = trace.now() - start;
+            trace.complete(
+                "posix",
+                "posix.quiesce",
+                start,
+                dur,
+                &[
+                    ("threads", report.threads),
+                    ("drained", report.drained_syscalls),
+                    ("restarted", report.restarted_syscalls),
+                ],
+            );
+            trace.hist("posix.quiesce_ns", dur);
         }
         Ok(report)
     }

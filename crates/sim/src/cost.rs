@@ -18,6 +18,7 @@
 //! and lets ablation benches perturb individual costs.
 
 use crate::clock::Clock;
+use aurora_trace::Trace;
 
 /// Number of bytes in a (small) page.
 pub const PAGE_SIZE: usize = 4096;
@@ -130,16 +131,24 @@ impl CostModel {
 ///
 /// Components take a `Charge` handle and call its methods as they execute
 /// primitive operations; the handle advances the shared virtual clock.
+///
+/// The accountant also carries the session [`Trace`]: every subsystem that
+/// can charge virtual time can reach the recorder through it, and charges
+/// themselves feed per-kind aggregated histograms (`charge.locks`, …) when
+/// tracing is enabled. Recording never advances the clock, so enabling the
+/// trace cannot perturb a run's virtual timeline.
 #[derive(Clone, Debug)]
 pub struct Charge {
     clock: Clock,
     model: CostModel,
+    trace: Trace,
 }
 
 impl Charge {
-    /// Creates an accountant charging `model` costs to `clock`.
+    /// Creates an accountant charging `model` costs to `clock`, with
+    /// tracing disabled.
     pub fn new(clock: Clock, model: CostModel) -> Self {
-        Self { clock, model }
+        Self { clock, model, trace: Trace::disabled() }
     }
 
     /// The underlying clock.
@@ -152,34 +161,51 @@ impl Charge {
         &self.model
     }
 
+    /// The trace recorder this accountant reports to.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Installs a trace recorder (pass [`Trace::disabled`] to detach).
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
+    }
+
+    fn charged(&self, kind: &'static str, ns: u64) {
+        self.clock.advance(ns);
+        if self.trace.is_enabled() {
+            self.trace.hist(kind, ns);
+        }
+    }
+
     /// Charges `n` lock acquisitions.
     pub fn locks(&self, n: u64) {
-        self.clock.advance(n * self.model.lock_ns);
+        self.charged("charge.locks", n * self.model.lock_ns);
     }
 
     /// Charges `n` cache-missing pointer chases.
     pub fn misses(&self, n: u64) {
-        self.clock.advance(n * self.model.cache_miss_ns);
+        self.charged("charge.misses", n * self.model.cache_miss_ns);
     }
 
     /// Charges `n` small allocations.
     pub fn allocs(&self, n: u64) {
-        self.clock.advance(n * self.model.alloc_ns);
+        self.charged("charge.allocs", n * self.model.alloc_ns);
     }
 
     /// Charges encoding `bytes` of record data.
     pub fn encode(&self, bytes: u64) {
-        self.clock.advance(self.model.encode_ns(bytes));
+        self.charged("charge.encode", self.model.encode_ns(bytes));
     }
 
     /// Charges copying `bytes` of memory.
     pub fn memcpy(&self, bytes: u64) {
-        self.clock.advance(self.model.memcpy_ns(bytes));
+        self.charged("charge.memcpy", self.model.memcpy_ns(bytes));
     }
 
     /// Charges an arbitrary raw duration (for model-specific costs).
     pub fn raw(&self, ns: u64) {
-        self.clock.advance(ns);
+        self.charged("charge.raw", ns);
     }
 }
 
@@ -213,6 +239,28 @@ mod tests {
         charge.locks(2);
         charge.misses(1);
         assert_eq!(clock.now(), 2 * 20 + 90);
+    }
+
+    #[test]
+    fn traced_charges_feed_histograms_without_extra_time() {
+        let clock = Clock::new();
+        let mut charge = Charge::new(clock.clone(), CostModel::default());
+        charge.set_trace(Trace::recording({
+            let c = clock.clone();
+            move || c.now()
+        }));
+        charge.locks(2);
+        charge.memcpy(4096);
+        // Same clock advance as the untraced accountant.
+        let plain_clock = Clock::new();
+        let plain = Charge::new(plain_clock.clone(), CostModel::default());
+        plain.locks(2);
+        plain.memcpy(4096);
+        assert_eq!(clock.now(), plain_clock.now());
+        let hists = charge.trace().histograms();
+        let names: Vec<&str> = hists.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["charge.locks", "charge.memcpy"]);
+        assert_eq!(hists[0].1.count, 1);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! event heap plus FIFO resource helpers.
 
 use crate::clock::Clock;
+use aurora_trace::Trace;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -51,6 +52,7 @@ pub struct Engine<E> {
     clock: Clock,
     heap: BinaryHeap<Reverse<Scheduled<E>>>,
     seq: u64,
+    trace: Trace,
 }
 
 impl<E: Eq> Engine<E> {
@@ -62,7 +64,13 @@ impl<E: Eq> Engine<E> {
     /// Creates an engine over an existing clock (shared with device models
     /// so IO completions and request events interleave on one timeline).
     pub fn with_clock(clock: Clock) -> Self {
-        Self { clock, heap: BinaryHeap::new(), seq: 0 }
+        Self { clock, heap: BinaryHeap::new(), seq: 0, trace: Trace::disabled() }
+    }
+
+    /// Installs a trace recorder; each dispatch then emits a `des.dispatch`
+    /// instant carrying the queue depth.
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
     }
 
     /// The engine's clock.
@@ -95,6 +103,10 @@ impl<E: Eq> Engine<E> {
     pub fn next(&mut self) -> Option<(u64, E)> {
         let Reverse(s) = self.heap.pop()?;
         self.clock.advance_to(s.at);
+        if self.trace.is_enabled() {
+            self.trace
+                .instant("sim", "des.dispatch", &[("seq", s.seq), ("pending", self.heap.len() as u64)]);
+        }
         Some((s.at, s.event))
     }
 
@@ -222,6 +234,22 @@ mod tests {
         assert_eq!(eng.next(), Some((5, 1)));
         assert_eq!(eng.next(), Some((5, 2)));
         assert_eq!(eng.now(), 5);
+    }
+
+    #[test]
+    fn dispatch_emits_trace_instants() {
+        let mut eng: Engine<u32> = Engine::new();
+        let clk = eng.clock().clone();
+        eng.set_trace(Trace::recording(move || clk.now()));
+        eng.schedule_at(5, 1);
+        eng.schedule_at(9, 2);
+        eng.next();
+        eng.next();
+        let evs = eng.trace.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].name, "des.dispatch");
+        assert_eq!((evs[0].ts, evs[1].ts), (5, 9));
+        assert_eq!(evs[0].args, vec![("seq", 0), ("pending", 1)]);
     }
 
     #[test]

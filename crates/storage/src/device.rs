@@ -136,6 +136,14 @@ pub trait BlockDevice {
     fn geometry(&self) -> (u64, u64) {
         (1, 1)
     }
+
+    /// Installs a trace recorder. Leaf devices emit per-I/O events;
+    /// wrapping layers (striping, fault injection) forward the handle to
+    /// their members. The default is a no-op so simple test doubles need
+    /// not care.
+    fn set_trace(&mut self, trace: aurora_trace::Trace) {
+        let _ = trace;
+    }
 }
 
 /// A shareable, lockable device handle.

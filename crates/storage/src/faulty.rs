@@ -15,6 +15,7 @@ use crate::device::{BlockDevice, Completion, DeviceError, Result};
 use aurora_sim::rng::{DetRng, Rng};
 use aurora_sim::sync::Mutex;
 use aurora_sim::Clock;
+use aurora_trace::Trace;
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -164,6 +165,7 @@ impl FaultHandle {
 pub struct FaultyDevice {
     inner: Box<dyn BlockDevice + Send>,
     state: Arc<Mutex<FaultState>>,
+    trace: Trace,
 }
 
 impl FaultyDevice {
@@ -178,7 +180,23 @@ impl FaultyDevice {
             trace: Vec::new(),
         }));
         let handle = FaultHandle(state.clone());
-        (Self { inner, state }, handle)
+        (Self { inner, state, trace: Trace::disabled() }, handle)
+    }
+
+    /// Emits a `storage.fault` instant describing a non-pass-through
+    /// outcome, so injected failures are visible in exported traces.
+    fn trace_outcome(&self, seq: u64, lba: u64, outcome: WriteOutcome) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        let (name, detail) = match outcome {
+            WriteOutcome::Applied => return,
+            WriteOutcome::Torn { bytes } => ("fault.torn_write", bytes as u64),
+            WriteOutcome::Dropped => ("fault.dropped_write", 0),
+            WriteOutcome::Failed => ("fault.transient_eio", 0),
+            WriteOutcome::BitFlipped { bit } => ("fault.bitflip", bit),
+        };
+        self.trace.instant("storage", name, &[("seq", seq), ("lba", lba), ("detail", detail)]);
     }
 
     /// The common write path: decides the outcome of write `seq`, records
@@ -196,6 +214,8 @@ impl FaultyDevice {
             // workload runs on obliviously — exactly like an OS whose
             // device vanished mid-flight.
             st.trace.push(WriteRecord { seq, lba, nblocks, outcome: WriteOutcome::Dropped });
+            drop(st);
+            self.trace_outcome(seq, lba, WriteOutcome::Dropped);
             return Ok(Completion::immediate(self.inner.clock().now()));
         }
 
@@ -219,6 +239,8 @@ impl FaultyDevice {
                 _ => WriteOutcome::Dropped,
             };
             st.trace.push(WriteRecord { seq, lba, nblocks, outcome });
+            drop(st);
+            self.trace_outcome(seq, lba, outcome);
             return Ok(Completion::immediate(self.inner.clock().now()));
         }
 
@@ -226,6 +248,8 @@ impl FaultyDevice {
             || st.plan.fail_writes_from.is_some_and(|n| seq >= n);
         if failing {
             st.trace.push(WriteRecord { seq, lba, nblocks, outcome: WriteOutcome::Failed });
+            drop(st);
+            self.trace_outcome(seq, lba, WriteOutcome::Failed);
             return Err(DeviceError::Io { lba, transient: true });
         }
 
@@ -243,6 +267,7 @@ impl FaultyDevice {
                     outcome: WriteOutcome::BitFlipped { bit },
                 });
                 drop(st);
+                self.trace_outcome(seq, lba, WriteOutcome::BitFlipped { bit });
                 return match after {
                     Some(a) => self.inner.write_after(lba, &corrupt, a),
                     None => self.inner.write(lba, &corrupt),
@@ -306,6 +331,11 @@ impl BlockDevice for FaultyDevice {
 
     fn geometry(&self) -> (u64, u64) {
         self.inner.geometry()
+    }
+
+    fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace.clone();
+        self.inner.set_trace(trace);
     }
 }
 
@@ -393,6 +423,25 @@ mod tests {
         assert_eq!(a, b, "same seed, same corruption");
         assert_eq!(ta, tb);
         assert_eq!(a.iter().map(|&x| x.count_ones()).sum::<u32>(), 1, "exactly one bit flipped");
+    }
+
+    #[test]
+    fn fault_outcomes_emit_trace_instants() {
+        let (mut d, _h) = faulty(FaultPlan::cut_at(1));
+        let clk = d.clock().clone();
+        d.set_trace(Trace::recording(move || clk.now()));
+        d.write(0, &vec![1u8; BLOCK_SIZE]).unwrap(); // applied
+        d.write(1, &vec![2u8; BLOCK_SIZE]).unwrap(); // cut: dropped
+        d.write(2, &vec![3u8; BLOCK_SIZE]).unwrap(); // dropped
+        let evs = d.trace.events();
+        let faults: Vec<&str> = evs
+            .iter()
+            .filter(|e| e.name.starts_with("fault."))
+            .map(|e| e.name.as_ref())
+            .collect();
+        assert_eq!(faults, vec!["fault.dropped_write", "fault.dropped_write"]);
+        // The applied write reached the leaf device and traced there.
+        assert!(evs.iter().any(|e| e.name == "nvme.write"));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use crate::device::{BlockDevice, Completion, DeviceError, Result};
 use aurora_sim::Clock;
+use aurora_trace::Trace;
 use std::collections::HashMap;
 
 /// Performance parameters of one NVMe device.
@@ -73,6 +74,7 @@ pub struct NvmeDevice {
     /// The device pipeline: time the channel is busy until.
     busy_until: u64,
     bytes_written: u64,
+    trace: Trace,
 }
 
 impl NvmeDevice {
@@ -87,6 +89,7 @@ impl NvmeDevice {
             buffered: HashMap::new(),
             busy_until: 0,
             bytes_written: 0,
+            trace: Trace::disabled(),
         }
     }
 
@@ -158,6 +161,15 @@ impl BlockDevice for NvmeDevice {
             + self.params.read_latency_ns
             + self.transfer_ns(nblocks * BLOCK_SIZE as u64, self.params.read_bw);
         self.busy_until = done.saturating_sub(self.params.read_latency_ns);
+        if self.trace.is_enabled() {
+            self.trace.complete(
+                "storage",
+                "nvme.read",
+                start,
+                done - start,
+                &[("lba", lba), ("nblocks", nblocks)],
+            );
+        }
         Ok((out, done))
     }
 
@@ -180,6 +192,15 @@ impl BlockDevice for NvmeDevice {
             self.buffered.insert(lba + i, (done, block));
         }
         self.bytes_written += data.len() as u64;
+        if self.trace.is_enabled() {
+            self.trace.complete(
+                "storage",
+                "nvme.write",
+                start,
+                done - start,
+                &[("lba", lba), ("nblocks", nblocks)],
+            );
+        }
         Ok(Completion { done_at: done })
     }
 
@@ -202,6 +223,15 @@ impl BlockDevice for NvmeDevice {
             self.buffered.insert(lba + i, (done, block));
         }
         self.bytes_written += data.len() as u64;
+        if self.trace.is_enabled() {
+            self.trace.complete(
+                "storage",
+                "nvme.write_after",
+                start,
+                done - start,
+                &[("lba", lba), ("nblocks", nblocks), ("barrier", after.done_at)],
+            );
+        }
         Ok(Completion { done_at: done })
     }
 
@@ -219,6 +249,10 @@ impl BlockDevice for NvmeDevice {
 
     fn bytes_written(&self) -> u64 {
         self.bytes_written
+    }
+
+    fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
     }
 }
 

@@ -164,6 +164,14 @@ impl BlockDevice for Raid0 {
     fn geometry(&self) -> (u64, u64) {
         (self.devices.len() as u64, self.stripe_blocks)
     }
+
+    fn set_trace(&mut self, trace: aurora_trace::Trace) {
+        // Instrumentation lives in the leaves: each member reports its own
+        // I/O, so parallel stripe traffic shows up as overlapping spans.
+        for d in &mut self.devices {
+            d.set_trace(trace.clone());
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,434 @@
+//! `aurora-trace` — the deterministic tracing and metrics substrate.
+//!
+//! Every layer of the Aurora reproduction (DES dispatch, device I/O,
+//! object-store epochs, VM faults, POSIX quiesce, the checkpoint
+//! pipeline, external synchrony) reports what it does through a shared
+//! [`Trace`] handle. Three properties make it fit a simulated OS:
+//!
+//! * **Deterministic**: events are stamped with the *virtual* clock
+//!   (the recorder is constructed over a `Fn() -> u64` that reads it) and
+//!   stored in issue order, so two identical runs produce byte-identical
+//!   exports. No wall time, no thread IDs, no global registries.
+//! * **Zero-cost when disabled**: a disabled handle is a `None`; every
+//!   recording method is a single branch and never reads the clock. The
+//!   virtual timeline of a run with tracing enabled is bit-identical to
+//!   one with it disabled — recording never charges time.
+//! * **Exportable**: [`chrome::export`] renders the event list as Chrome
+//!   trace-event JSON (loadable in `about://tracing` or Perfetto);
+//!   aggregated [`Histogram`]s and counters feed the bench harness's
+//!   machine-readable metrics files.
+//!
+//! The crate is dependency-free and sits below `aurora-sim`: the
+//! simulator's `Charge` accountant carries a `Trace`, so every subsystem
+//! that can charge virtual time can also trace.
+
+pub mod chrome;
+pub mod json;
+
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Event kinds, mirroring the Chrome trace-event phases we emit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// A span with a start and a duration (`ph: "X"`).
+    Complete,
+    /// A point event (`ph: "i"`).
+    Instant,
+    /// A counter sample (`ph: "C"`).
+    Counter,
+}
+
+/// One recorded event. Arguments are `u64` only — every quantity in the
+/// simulation (epochs, pids, bytes, nanoseconds) is an integer, and
+/// integer-only args keep exports trivially deterministic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual-clock timestamp, ns.
+    pub ts: u64,
+    /// Duration for [`Phase::Complete`] events, ns (0 otherwise).
+    pub dur: u64,
+    /// Event kind.
+    pub ph: Phase,
+    /// Category — the emitting subsystem (`"pipeline"`, `"storage"`, …).
+    pub cat: &'static str,
+    /// Event name.
+    pub name: Cow<'static, str>,
+    /// Key/value arguments.
+    pub args: Vec<(&'static str, u64)>,
+}
+
+/// A log₂-bucketed histogram of `u64` samples (latencies, sizes).
+///
+/// Bucket `i` holds samples whose value has `i` significant bits, i.e.
+/// `v == 0` → bucket 0, otherwise bucket `64 - v.leading_zeros()`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (u64::MAX when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Log₂ buckets.
+    pub buckets: [u64; 65],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: [0; 65] }
+    }
+}
+
+impl Histogram {
+    fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    /// Mean sample, 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Upper bound of the bucket holding the `p`-th percentile
+    /// (`p` in 0..=100). A coarse estimate — within 2× of the true value
+    /// — which is enough for trend tracking.
+    pub fn percentile(&self, p: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (self.count * p.min(100)).div_ceil(100).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if i == 0 { 0 } else { (1u64 << (i - 1)).saturating_mul(2) - 1 };
+            }
+        }
+        self.max
+    }
+}
+
+struct Inner {
+    now: Box<dyn Fn() -> u64 + Send + Sync>,
+    events: Mutex<Vec<TraceEvent>>,
+    hists: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// A cloneable subscriber handle. All clones share one event buffer.
+///
+/// The [`Default`]/[`Trace::disabled`] handle records nothing: every
+/// method is a branch on a `None` and returns immediately, so
+/// instrumented code pays nothing when tracing is off.
+#[derive(Clone, Default)]
+pub struct Trace {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Trace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => write!(f, "Trace(disabled)"),
+            Some(i) => write!(f, "Trace({} events)", i.events.lock().unwrap().len()),
+        }
+    }
+}
+
+impl Trace {
+    /// The no-op handle.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// A recording handle stamping events with `now` (the virtual clock).
+    pub fn recording(now: impl Fn() -> u64 + Send + Sync + 'static) -> Self {
+        Self {
+            inner: Some(Arc::new(Inner {
+                now: Box::new(now),
+                events: Mutex::new(Vec::new()),
+                hists: Mutex::new(BTreeMap::new()),
+            })),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The recorder's current timestamp (0 when disabled).
+    pub fn now(&self) -> u64 {
+        self.inner.as_ref().map(|i| (i.now)()).unwrap_or(0)
+    }
+
+    fn push(&self, ev: TraceEvent) {
+        if let Some(i) = &self.inner {
+            i.events.lock().unwrap().push(ev);
+        }
+    }
+
+    /// Records a point event stamped now.
+    pub fn instant(
+        &self,
+        cat: &'static str,
+        name: impl Into<Cow<'static, str>>,
+        args: &[(&'static str, u64)],
+    ) {
+        if let Some(i) = &self.inner {
+            let ts = (i.now)();
+            i.events.lock().unwrap().push(TraceEvent {
+                ts,
+                dur: 0,
+                ph: Phase::Instant,
+                cat,
+                name: name.into(),
+                args: args.to_vec(),
+            });
+        }
+    }
+
+    /// Records a counter sample stamped now.
+    pub fn counter(&self, cat: &'static str, name: impl Into<Cow<'static, str>>, value: u64) {
+        if let Some(i) = &self.inner {
+            let ts = (i.now)();
+            i.events.lock().unwrap().push(TraceEvent {
+                ts,
+                dur: 0,
+                ph: Phase::Counter,
+                cat,
+                name: name.into(),
+                args: vec![("value", value)],
+            });
+        }
+    }
+
+    /// Records a span with explicit start and duration (for operations
+    /// whose interval is known after the fact, e.g. a device completion).
+    pub fn complete(
+        &self,
+        cat: &'static str,
+        name: impl Into<Cow<'static, str>>,
+        start_ns: u64,
+        dur_ns: u64,
+        args: &[(&'static str, u64)],
+    ) {
+        self.push(TraceEvent {
+            ts: start_ns,
+            dur: dur_ns,
+            ph: Phase::Complete,
+            cat,
+            name: name.into(),
+            args: args.to_vec(),
+        });
+    }
+
+    /// Opens a span starting now; the returned guard records a
+    /// [`Phase::Complete`] event when dropped (or [`Span::end`]ed).
+    pub fn span(&self, cat: &'static str, name: impl Into<Cow<'static, str>>) -> Span {
+        Span {
+            trace: self.clone(),
+            cat,
+            name: name.into(),
+            start: self.now(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Records `sample` into the named aggregated histogram.
+    pub fn hist(&self, name: &str, sample: u64) {
+        if let Some(i) = &self.inner {
+            let mut h = i.hists.lock().unwrap();
+            match h.get_mut(name) {
+                Some(hist) => hist.record(sample),
+                None => {
+                    let mut hist = Histogram::default();
+                    hist.record(sample);
+                    h.insert(name.to_string(), hist);
+                }
+            }
+        }
+    }
+
+    /// A snapshot of the recorded events, in issue order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner
+            .as_ref()
+            .map(|i| i.events.lock().unwrap().clone())
+            .unwrap_or_default()
+    }
+
+    /// Number of events recorded so far.
+    pub fn event_count(&self) -> usize {
+        self.inner.as_ref().map(|i| i.events.lock().unwrap().len()).unwrap_or(0)
+    }
+
+    /// A snapshot of the aggregated histograms, sorted by name.
+    pub fn histograms(&self) -> Vec<(String, Histogram)> {
+        self.inner
+            .as_ref()
+            .map(|i| i.hists.lock().unwrap().iter().map(|(k, v)| (k.clone(), v.clone())).collect())
+            .unwrap_or_default()
+    }
+
+    /// Drops all recorded events and histograms (keeps the handle live).
+    pub fn clear(&self) {
+        if let Some(i) = &self.inner {
+            i.events.lock().unwrap().clear();
+            i.hists.lock().unwrap().clear();
+        }
+    }
+
+    /// Renders the recorded events as Chrome trace-event JSON.
+    pub fn export_chrome(&self) -> String {
+        chrome::export(&self.events())
+    }
+}
+
+/// A live span; dropping it records the completed interval.
+#[must_use = "dropping immediately records a zero-length span"]
+pub struct Span {
+    trace: Trace,
+    cat: &'static str,
+    name: Cow<'static, str>,
+    start: u64,
+    args: Vec<(&'static str, u64)>,
+}
+
+impl Span {
+    /// The span's start timestamp.
+    pub fn start_ns(&self) -> u64 {
+        self.start
+    }
+
+    /// Attaches an argument (recorded at close).
+    pub fn arg(&mut self, key: &'static str, value: u64) {
+        if self.trace.is_enabled() {
+            self.args.push((key, value));
+        }
+    }
+
+    /// Closes the span now (equivalent to dropping it).
+    pub fn end(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.trace.is_enabled() {
+            let end = self.trace.now();
+            self.trace.push(TraceEvent {
+                ts: self.start,
+                dur: end.saturating_sub(self.start),
+                ph: Phase::Complete,
+                cat: self.cat,
+                name: std::mem::replace(&mut self.name, Cow::Borrowed("")),
+                args: std::mem::take(&mut self.args),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn clocked() -> (Arc<AtomicU64>, Trace) {
+        let t = Arc::new(AtomicU64::new(0));
+        let t2 = t.clone();
+        (t, Trace::recording(move || t2.load(Ordering::Relaxed)))
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let t = Trace::disabled();
+        t.instant("x", "e", &[("a", 1)]);
+        t.counter("x", "c", 5);
+        t.hist("h", 3);
+        let mut s = t.span("x", "s");
+        s.arg("k", 1);
+        drop(s);
+        assert!(!t.is_enabled());
+        assert_eq!(t.event_count(), 0);
+        assert!(t.histograms().is_empty());
+    }
+
+    #[test]
+    fn events_are_stamped_and_ordered() {
+        let (clock, t) = clocked();
+        t.instant("a", "first", &[]);
+        clock.store(10, Ordering::Relaxed);
+        t.instant("a", "second", &[("v", 7)]);
+        let evs = t.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!((evs[0].ts, evs[1].ts), (0, 10));
+        assert_eq!(evs[1].args, vec![("v", 7)]);
+    }
+
+    #[test]
+    fn span_measures_interval() {
+        let (clock, t) = clocked();
+        clock.store(100, Ordering::Relaxed);
+        let mut s = t.span("cat", "work");
+        s.arg("n", 3);
+        clock.store(250, Ordering::Relaxed);
+        s.end();
+        let evs = t.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!((evs[0].ts, evs[0].dur), (100, 150));
+        assert_eq!(evs[0].ph, Phase::Complete);
+        assert_eq!(evs[0].args, vec![("n", 3)]);
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let (_, t) = clocked();
+        let t2 = t.clone();
+        t.instant("a", "x", &[]);
+        t2.instant("a", "y", &[]);
+        assert_eq!(t.event_count(), 2);
+        assert_eq!(t2.event_count(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let mut h = Histogram::default();
+        for v in [1u64, 2, 3, 4, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 6);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 1000);
+        assert_eq!(h.mean(), 1110 / 6);
+        assert!(h.percentile(50) >= 3);
+        assert!(h.percentile(100) >= 1000);
+        let empty = Histogram::default();
+        assert_eq!(empty.percentile(99), 0);
+        assert_eq!(empty.mean(), 0);
+    }
+
+    #[test]
+    fn identical_runs_identical_events() {
+        let run = || {
+            let (clock, t) = clocked();
+            for i in 0..50u64 {
+                clock.store(i * 7, Ordering::Relaxed);
+                t.instant("cat", "tick", &[("i", i)]);
+                t.hist("lat", i % 11);
+            }
+            (t.events(), t.histograms())
+        };
+        assert_eq!(run(), run());
+    }
+}

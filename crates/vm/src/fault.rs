@@ -80,7 +80,7 @@ impl Vm {
         let top_has_shadows =
             self.objects.get(&top).ok_or(VmError::NoSuchObject(top))?.shadow_count > 0;
 
-        let (frame, writable) = match (found, write) {
+        let (frame, writable, kind, depth_arg) = match (found, write) {
             (Found::Resident { owner, depth, frame }, false) => {
                 // Read fault: map the existing page. Writable only when it
                 // is the top object's own page, the mapping allows writes,
@@ -90,7 +90,7 @@ impl Vm {
                 let dirty_own = depth == 0
                     && matches!(obj.pages.get(&pindex), Some(PageSlot::Resident { dirty: true, .. }));
                 let writable = dirty_own && prot.contains(Prot::WRITE) && !top_has_shadows;
-                (frame, writable)
+                (frame, writable, "vm.fault.map", depth as u64)
             }
             (Found::Resident { depth, frame, .. }, true) => {
                 if depth == 0 {
@@ -103,7 +103,7 @@ impl Vm {
                     if let Some(PageSlot::Resident { dirty, .. }) = obj.pages.get_mut(&pindex) {
                         *dirty = true;
                     }
-                    (frame, true)
+                    (frame, true, "vm.fault.upgrade", 0)
                 } else {
                     // COW break: copy the ancestor's page into the top.
                     // If the top object is shared (several entries map
@@ -119,7 +119,7 @@ impl Vm {
                     let obj = self.objects.get_mut(&top).expect("top exists");
                     obj.pages.insert(pindex, PageSlot::Resident { frame: new_frame, dirty: true });
                     self.stats.cow_breaks += 1;
-                    (new_frame, true)
+                    (new_frame, true, "vm.cow_break", depth as u64)
                 }
             }
             (Found::Missing, _) => {
@@ -129,9 +129,16 @@ impl Vm {
                 let obj = self.objects.get_mut(&top).expect("top exists");
                 obj.pages.insert(pindex, PageSlot::Resident { frame, dirty: true });
                 self.stats.zero_fills += 1;
-                (frame, write && !top_has_shadows)
+                (frame, write && !top_has_shadows, "vm.zero_fill", 0)
             }
         };
+        if self.trace.is_enabled() {
+            self.trace.instant(
+                "vm",
+                kind,
+                &[("space", space.0), ("vpn", vpn), ("depth", depth_arg)],
+            );
+        }
 
         // Install the PTE, replacing any stale one (and its pv entry).
         let sp = self.spaces.get_mut(&space).expect("checked above");
@@ -294,6 +301,28 @@ mod tests {
         vm.write(parent, a, &[2]).unwrap();
         vm.write(parent, a, &[3]).unwrap(); // second write: no new break
         assert_eq!(vm.stats.cow_breaks, before + 1);
+    }
+
+    #[test]
+    fn traced_faults_emit_events_without_changing_behavior() {
+        let run = |trace: aurora_trace::Trace| {
+            let mut vm = Vm::new();
+            vm.set_trace(trace);
+            let s = vm.create_space();
+            let a = vm.mmap_anon(s, 4, Prot::RW).unwrap();
+            vm.write(s, a, &[1]).unwrap();
+            vm.system_shadow(&[s]).unwrap();
+            vm.write(s, a, &[2]).unwrap(); // COW break into the new top
+            vm.stats
+        };
+        let t = aurora_trace::Trace::recording(|| 0);
+        let traced = run(t.clone());
+        let untraced = run(aurora_trace::Trace::disabled());
+        assert_eq!(traced, untraced, "tracing must not perturb VM behavior");
+        let names: Vec<_> = t.events().iter().map(|e| e.name.to_string()).collect();
+        for expect in ["vm.zero_fill", "vm.cow_break", "vm.system_shadow"] {
+            assert!(names.iter().any(|n| n == expect), "missing {expect} in {names:?}");
+        }
     }
 
     #[test]

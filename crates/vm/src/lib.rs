@@ -59,12 +59,20 @@ pub struct Vm {
     pub(crate) next_lineage: u64,
     /// Monotonic operation counters; see [`stats::VmStats`].
     pub stats: VmStats,
+    /// Optional event recorder; disabled by default (pure no-op).
+    pub(crate) trace: aurora_trace::Trace,
 }
 
 impl Vm {
     /// Creates an empty VM.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Installs a trace recorder. The VM itself is clock-free; the
+    /// handle's timestamps come from whoever built it.
+    pub fn set_trace(&mut self, trace: aurora_trace::Trace) {
+        self.trace = trace;
     }
 
     /// Number of live VM objects.

@@ -128,6 +128,13 @@ impl Vm {
         // One TLB shootdown per space in the group.
         self.stats.tlb_shootdowns += group.len() as u64;
         self.stats.system_shadows += 1;
+        if self.trace.is_enabled() {
+            self.trace.instant(
+                "vm",
+                "vm.system_shadow",
+                &[("spaces", group.len() as u64), ("pairs", pairs.len() as u64)],
+            );
+        }
         Ok(pairs)
     }
 
@@ -279,6 +286,18 @@ impl Vm {
         };
         self.stats.collapses += 1;
         self.stats.collapse_pages_moved += report.pages_moved;
+        if self.trace.is_enabled() {
+            let depth = self.chain_of(top)?.len() as u64;
+            self.trace.instant(
+                "vm",
+                "vm.collapse",
+                &[
+                    ("moved", report.pages_moved),
+                    ("replaced", report.pages_replaced),
+                    ("depth", depth),
+                ],
+            );
+        }
         Ok(Some(report))
     }
 
