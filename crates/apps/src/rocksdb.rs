@@ -228,7 +228,7 @@ impl RocksDb {
             let oid = store.alloc_oid();
             store.create_object(oid, aurora_objstore::ObjectKind::File)?;
             let pages = bytes.div_ceil(4096);
-            let zero = [0u8; 4096];
+            let zero = aurora_objstore::PageRef::zero();
             for pi in 0..pages {
                 store.write_page(oid, pi, &zero)?;
             }

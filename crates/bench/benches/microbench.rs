@@ -161,7 +161,7 @@ fn bench_store() {
             (s, oid)
         },
         |(mut s, oid)| {
-            let page = [7u8; 4096];
+            let page = aurora_objstore::PageRef::detached([7u8; 4096]);
             for pi in 0..16 {
                 s.write_page(oid, pi, &page).unwrap();
             }
@@ -178,7 +178,9 @@ fn bench_store() {
                 ObjectStore::format(dev, Charge::new(clock, CostModel::default()), 1024).unwrap();
             let oid = s.alloc_oid();
             s.create_object(oid, ObjectKind::Memory).unwrap();
-            let pages: Vec<(u64, [u8; PAGE])> = (0..16).map(|pi| (pi, [7u8; PAGE])).collect();
+            let pages: Vec<(u64, aurora_objstore::PageRef)> = (0..16)
+                .map(|pi| (pi, aurora_objstore::PageRef::detached([7u8; PAGE])))
+                .collect();
             (s, oid, pages)
         },
         |(mut s, oid, pages)| {

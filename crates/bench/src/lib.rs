@@ -31,6 +31,19 @@ pub struct Metric {
     pub value: f64,
 }
 
+/// Frame-arena gauges at the end of a benchmark run, exported as the
+/// report's `frames` block: how much page sharing the unified COW frame
+/// arena achieved (resident frames, frames with refcount ≥ 2, COW copies
+/// broken by writes, and sharing observed during the last system-shadow
+/// checkpoint, right after its flush stage).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrameBlock {
+    pub resident: u64,
+    pub shared: u64,
+    pub copies_broken: u64,
+    pub shared_at_checkpoint: u64,
+}
+
 /// A machine-readable benchmark result: everything the printed table
 /// shows, as raw numbers.
 #[derive(Clone, Debug, Default)]
@@ -39,17 +52,24 @@ pub struct BenchReport {
     /// stem of the exported file.
     pub name: String,
     pub metrics: Vec<Metric>,
+    /// Frame-arena gauges, when the benchmark exercises the arena.
+    pub frames: Option<FrameBlock>,
 }
 
 impl BenchReport {
     /// Creates an empty report.
     pub fn new(name: &str) -> Self {
-        Self { name: name.to_string(), metrics: Vec::new() }
+        Self { name: name.to_string(), metrics: Vec::new(), frames: None }
     }
 
     /// Records one measurement.
     pub fn push(&mut self, group: impl Into<String>, name: impl Into<String>, value: f64) {
         self.metrics.push(Metric { group: group.into(), name: name.into(), value });
+    }
+
+    /// Attaches the frame-arena gauge snapshot.
+    pub fn set_frames(&mut self, frames: FrameBlock) {
+        self.frames = Some(frames);
     }
 
     /// Serializes the report as deterministic JSON (insertion order, no
@@ -73,7 +93,15 @@ impl BenchReport {
                 v
             ));
         }
-        out.push_str("]}");
+        out.push(']');
+        if let Some(f) = &self.frames {
+            out.push_str(&format!(
+                ",\"frames\":{{\"resident\":{},\"shared\":{},\"copies_broken\":{},\
+                 \"shared_at_checkpoint\":{}}}",
+                f.resident, f.shared, f.copies_broken, f.shared_at_checkpoint
+            ));
+        }
+        out.push('}');
         out
     }
 }

@@ -6,13 +6,13 @@
 //! Paper reference (stop time): 4 KiB → 185 µs / 80 µs / 28 µs;
 //! 64 MiB → 600 µs / 492 µs / 25.9 ms; 1 GiB → 6.1 ms / 6.3 ms / 417 ms.
 
-use crate::{header, row, BenchReport};
+use crate::{header, row, BenchReport, FrameBlock};
 use aurora_core::world::World;
 use aurora_core::{AuroraApi, SlsOptions};
 use aurora_sim::units::{fmt_bytes, fmt_ns, GIB, KIB, MIB};
 use aurora_vm::PAGE_SIZE;
 
-fn incremental_stop(size: u64) -> u64 {
+fn incremental_stop(size: u64) -> (u64, FrameBlock) {
     let mut w = World::with_store_bytes(3 << 30);
     let pid = w.sls.kernel.spawn("table5");
     let pages = (size / PAGE_SIZE as u64).max(1);
@@ -26,7 +26,14 @@ fn incremental_stop(size: u64) -> u64 {
     // Dirty exactly `size` bytes, then measure the incremental stop.
     w.sls.kernel.mem_touch(pid, addr, pages * PAGE_SIZE as u64).unwrap();
     let stats = w.sls.sls_checkpoint(gid).unwrap();
-    stats.stop_time_ns
+    let g = w.sls.frame_gauges();
+    let frames = FrameBlock {
+        resident: g.resident,
+        shared: g.shared,
+        copies_broken: g.copies_broken,
+        shared_at_checkpoint: stats.shared_frames,
+    };
+    (stats.stop_time_ns, frames)
 }
 
 fn atomic_stop(size: u64) -> u64 {
@@ -87,7 +94,10 @@ pub fn run() -> BenchReport {
         &["size", "incremental", "(paper)", "atomic", "(paper)", "journaled", "(paper)"],
     );
     for (i, &size) in sizes.iter().enumerate() {
-        let inc = incremental_stop(size);
+        let (inc, frames) = incremental_stop(size);
+        // The arena gauges of the largest incremental run go out with the
+        // report: how much frame sharing the checkpoint achieved.
+        report.set_frames(frames);
         let atomic = atomic_stop(size);
         let journal = journaled_time(size);
         row(&[

@@ -154,10 +154,10 @@ impl AuroraApi for Sls {
                 .filter(|&(_, d)| d)
                 .map(|(pi, _)| pi)
                 .collect();
-            let mut batch: Vec<(u64, [u8; aurora_objstore::PAGE])> =
+            let mut batch: Vec<(u64, aurora_objstore::PageRef)> =
                 Vec::with_capacity(dirty.len());
             for &pi in &dirty {
-                batch.push((pi, *self.kernel.vm.page_bytes(pair.old_top, pi)?));
+                batch.push((pi, self.kernel.vm.page_ref(pair.old_top, pi)?));
             }
             if !batch.is_empty() {
                 // The region goes out as one charged bulk write.

@@ -64,6 +64,10 @@ pub struct CheckpointStats {
     pub bytes_flushed: u64,
     /// Virtual time at which the checkpoint is durable.
     pub durable_at: u64,
+    /// Frames shared (refcount ≥ 2) during the checkpoint, sampled right
+    /// after the flush stage: the frozen epoch's pages now aliased by the
+    /// store's page cache — proof the flush moved them by reference.
+    pub shared_frames: u64,
     /// Transient-error retries spent across the device-facing stages.
     pub retries: u32,
     /// Set when the checkpoint aborted after exhausting retries. The

@@ -199,7 +199,8 @@ impl Sls {
         let mut store = self.store.lock();
         let mut out = Vec::new();
         for pi in store.pages_at(oid, epoch)? {
-            out.push((pi, store.read_page(oid, pi, epoch)?));
+            // Dump is an export boundary: copy the bytes out of the frame.
+            out.push((pi, *store.read_page(oid, pi, epoch)?.bytes()));
         }
         Ok(out)
     }

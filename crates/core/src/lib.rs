@@ -46,6 +46,8 @@ pub use pipeline::CheckpointPipeline;
 pub use registry::{default_registry, KObjKind, Serializer, SerializerRegistry};
 pub use restore::RestoreMode;
 
+pub use aurora_frames::{FrameArena, FrameGauges, PageRef};
+
 use aurora_objstore::{ObjectStore, Oid};
 use aurora_posix::{Kernel, Pid, VnodeId};
 use aurora_sim::units::MS;
@@ -164,6 +166,10 @@ impl Sls {
     pub fn new(mut kernel: Kernel, store: ObjectStore) -> Self {
         let store: SharedStore = Arc::new(Mutex::new(store));
         let lineage_oids = Arc::new(Mutex::new(HashMap::new()));
+        // One frame arena from VM to store: pages flushed, cached, and
+        // restored are the same refcounted frames, so the gauges see
+        // every layer.
+        kernel.vm.set_arena(store.lock().arena().clone());
         kernel.set_pager(Box::new(swap::StorePager {
             store: store.clone(),
             lineage_oids: lineage_oids.clone(),
@@ -299,6 +305,12 @@ impl Sls {
         &self.store
     }
 
+    /// Frame-arena gauges for the one arena shared by the VM and the
+    /// store: resident frames, shared frames, and COW copies broken.
+    pub fn frame_gauges(&self) -> aurora_frames::FrameGauges {
+        self.kernel.vm.frame_gauges()
+    }
+
     /// Looks up a kernel object's OID in a group's mapping (tools and
     /// tests).
     pub fn oidmap_lookup(&self, gid: GroupId, kobj: oidmap::KObj) -> Option<Oid> {
@@ -342,6 +354,9 @@ impl Sls {
         let model = self.kernel.charge.model().clone();
         let mut kernel = Kernel::new(clock, model);
         self.lineage_oids.lock().clear();
+        // The fresh kernel rejoins the store's (surviving) frame arena so
+        // the gauges stay continuous across the reboot.
+        kernel.vm.set_arena(self.store.lock().arena().clone());
         kernel.set_pager(Box::new(swap::StorePager {
             store: self.store.clone(),
             lineage_oids: self.lineage_oids.clone(),

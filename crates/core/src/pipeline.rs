@@ -175,6 +175,10 @@ impl<'a> CheckpointPipeline<'a> {
             }
         };
         spans.mark(&clock, &mut last, "flush");
+        // The flush handed the frozen frames to the store's page cache
+        // by reference — sample the aliasing while it is visible, before
+        // post-resume writes break it.
+        stats.shared_frames = self.sls.kernel.vm.frame_gauges().shared;
         let sealed = self.seal()?;
         spans.mark(&clock, &mut last, "seal");
         let info = match self.with_retry(&mut stats, |p| p.commit(sealed.clone())) {

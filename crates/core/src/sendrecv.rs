@@ -32,7 +32,7 @@ impl Sls {
             for pi in pages {
                 let data = store.read_page(oid, pi, epoch)?;
                 body.u64(pi);
-                body.raw(&data);
+                body.raw(data.bytes());
             }
             let bytes = body.finish_vec();
             e.u32(bytes.len() as u32);
@@ -71,12 +71,13 @@ impl Sls {
                 store.set_meta(oid, &meta)?;
             }
             let npages = body.u32()?;
-            let mut batch: Vec<(u64, [u8; PAGE])> = Vec::with_capacity(npages as usize);
+            let mut batch: Vec<(u64, aurora_objstore::PageRef)> =
+                Vec::with_capacity(npages as usize);
             for _ in 0..npages {
                 let pi = body.u64()?;
                 let page: &[u8; PAGE] =
                     body.raw(PAGE)?.try_into().expect("exactly one page");
-                batch.push((pi, *page));
+                batch.push((pi, store.arena().alloc(*page)));
             }
             if !batch.is_empty() {
                 // One charged bulk write per imported object.
@@ -150,7 +151,7 @@ impl Sls {
             for pi in pages {
                 let data = store.read_page(oid, pi, to_epoch)?;
                 body.u64(pi);
-                body.raw(&data);
+                body.raw(data.bytes());
             }
             let bytes = body.finish_vec();
             bodies.u32(bytes.len() as u32);

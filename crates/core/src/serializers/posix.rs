@@ -321,13 +321,16 @@ impl Serializer for VnodeSer {
                 continue;
             }
             let oid = oids.get(KObj::Vnode(v)).ok_or(SlsError::BadImage("unassigned vnode"))?;
-            let mut pages: Vec<(u64, [u8; PAGE])> = Vec::with_capacity(data.len().div_ceil(PAGE));
+            // File bytes live in the vnode, not in frames; page-align them
+            // into arena frames so they enter the cache like VM pages do.
+            let mut pages: Vec<(u64, aurora_objstore::PageRef)> =
+                Vec::with_capacity(data.len().div_ceil(PAGE));
             let mut off = 0usize;
             while off < data.len() {
                 let mut page = [0u8; PAGE];
                 let n = (data.len() - off).min(PAGE);
                 page[..n].copy_from_slice(&data[off..off + n]);
-                pages.push(((off / PAGE) as u64, page));
+                pages.push(((off / PAGE) as u64, store.arena().alloc(page)));
                 off += n;
             }
             store.write_pages(oid, &pages)?;
@@ -357,7 +360,7 @@ impl Serializer for VnodeSer {
             if !rec.is_dir && rec.size > 0 {
                 let pages: Vec<u64> = (0..rec.size.div_ceil(PAGE as u64)).collect();
                 for (_, page) in store.read_pages_bulk(oid, epoch, &pages)? {
-                    content.extend_from_slice(&page);
+                    content.extend_from_slice(page.bytes());
                     rb.pages_read += 1;
                 }
                 content.truncate(rec.size as usize);

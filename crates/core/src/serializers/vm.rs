@@ -76,9 +76,11 @@ impl Serializer for MemSer {
             if dirty.is_empty() {
                 continue;
             }
-            let mut batch: Vec<(u64, [u8; PAGE])> = Vec::with_capacity(dirty.len());
+            // Frames travel into the store by ref: a checkpoint flush
+            // copies zero page bytes on the host.
+            let mut batch: Vec<(u64, aurora_objstore::PageRef)> = Vec::with_capacity(dirty.len());
             for &pi in &dirty {
-                batch.push((pi, *kernel.vm.page_bytes(obj, pi)?));
+                batch.push((pi, kernel.vm.page_ref(obj, pi)?));
             }
             store.write_pages(oid, &batch)?;
             for &pi in &dirty {
@@ -142,8 +144,11 @@ impl Serializer for MemSer {
                         let mut store = sls.store.lock();
                         store.read_pages_bulk(oid, epoch, &pages)?
                     };
+                    // Installed refs alias the store's page cache: the
+                    // restored space shares frames with the store until
+                    // its first post-restore write breaks COW.
                     for (pi, data) in loaded {
-                        sls.kernel.vm.install_page(obj, pi, Box::new(data), false)?;
+                        sls.kernel.vm.install_page(obj, pi, data, false)?;
                         rb.pages_read += 1;
                     }
                 }

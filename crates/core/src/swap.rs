@@ -29,7 +29,7 @@ impl aurora_posix::Pager for StorePager {
         let page = store
             .read_page_pinned(binding.oid, pindex, binding.floor, binding.resume)
             .ok()?;
-        Some(Box::new(page))
+        Some(page)
     }
 }
 

@@ -200,6 +200,9 @@ fn lazy_restore_pages_in_on_demand() {
     let gid = w.sls.attach(pid, SlsOptions::default()).unwrap();
     w.sls.sls_checkpoint(gid).unwrap();
     w.sls.sls_barrier(gid).unwrap();
+    // Cold-cache restore (the post-reboot case): with the store's page
+    // cache still warm from the flush, a full restore would be free.
+    w.sls.store().lock().drop_page_cache();
 
     let lazy = w.sls.sls_restore(gid, None, RestoreMode::Lazy).unwrap();
     assert_eq!(lazy.pages_read, 0, "lazy restore reads nothing eagerly");

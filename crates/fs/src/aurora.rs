@@ -107,7 +107,7 @@ impl SimFs for AuroraFs {
         let oid = *self.files.get(&name).ok_or(FsError::NoSuchFile(name))?;
         let first = offset / PAGE;
         let last = (offset + len).div_ceil(PAGE);
-        let zero = [0u8; PAGE as usize];
+        let zero = aurora_objstore::PageRef::zero();
         for pi in first..last {
             self.store.write_page(oid, pi, &zero).map_err(|e| FsError::Backend(e.to_string()))?;
         }

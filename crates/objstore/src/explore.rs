@@ -158,7 +158,8 @@ fn replay(workload: &[WorkloadOp], plan: FaultPlan) -> Replay {
                     o
                 });
                 live.objects.insert(obj);
-                store.write_page(oid, pindex, &[fill; PAGE]).expect("write");
+                let p = store.arena().alloc([fill; PAGE]);
+                store.write_page(oid, pindex, &p).expect("write");
                 live.pages.insert((obj, pindex), fill);
             }
             WorkloadOp::SetMeta { obj, tag } => {

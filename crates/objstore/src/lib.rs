@@ -28,6 +28,7 @@ pub mod explore;
 pub mod journal;
 pub mod store;
 
+pub use aurora_frames::{FrameArena, FrameGauges, PageRef};
 pub use explore::{Explorer, ScheduleReport, WorkloadOp};
 pub use journal::JournalStats;
 pub use store::{CommitInfo, ObjectKind, ObjectStore, Oid, StoreError, PAGE};

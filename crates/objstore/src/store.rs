@@ -1,6 +1,7 @@
 //! The store proper: objects, versioned pages, commits, and recovery.
 
 use crate::journal::Journal;
+use aurora_frames::{FrameArena, PageRef};
 use aurora_storage::device::{Completion, DeviceError, SharedDevice};
 use aurora_sim::codec::{CodecError, Decoder, Encoder};
 use aurora_sim::cost::Charge;
@@ -229,6 +230,15 @@ pub struct ObjectStore {
     data_start: u64,
     capacity: u64,
     next_oid: u64,
+    /// The frame arena pages flow through (shared with the VM by the
+    /// orchestrator so a page keeps one identity end to end).
+    arena: FrameArena,
+    /// Committed-page cache: device block → the frame that holds (or was
+    /// written with) that block's bytes. A hit hands back a shared ref —
+    /// no device read, and the checksum recorded at write time is already
+    /// known good for the frame. Invalidated per block when the allocator
+    /// hands the block out again; a crash/reopen starts cold.
+    page_cache: HashMap<u64, PageRef>,
 }
 
 impl ObjectStore {
@@ -254,6 +264,8 @@ impl ObjectStore {
             data_start: 1 + meta_blocks,
             capacity,
             next_oid: 1,
+            arena: FrameArena::new(),
+            page_cache: HashMap::new(),
         };
         store.write_superblock()?;
         Ok(store)
@@ -307,6 +319,8 @@ impl ObjectStore {
             data_start,
             capacity,
             next_oid: 1,
+            arena: FrameArena::new(),
+            page_cache: HashMap::new(),
         };
         store.replay()?;
         Ok(store)
@@ -445,6 +459,9 @@ impl ObjectStore {
     pub(crate) fn alloc_block(&mut self) -> Result<u64> {
         self.reclaim_matured();
         if let Some(b) = self.free_blocks.pop() {
+            // The block is about to hold different bytes; any cached frame
+            // for its old content must not be served again.
+            self.page_cache.remove(&b);
             return Ok(b);
         }
         if self.next_block >= self.capacity {
@@ -486,6 +503,30 @@ impl ObjectStore {
         self.dev.lock().set_trace(trace);
     }
 
+    /// Adopts a frame arena (the orchestrator passes the VM's so both
+    /// layers attribute frames to one gauge block). Existing cache
+    /// entries keep their old attribution; callers wire the arena before
+    /// any page traffic.
+    pub fn set_arena(&mut self, arena: FrameArena) {
+        self.arena = arena;
+    }
+
+    /// The store's frame arena.
+    pub fn arena(&self) -> &FrameArena {
+        &self.arena
+    }
+
+    /// Drops every cached page frame. Reads fall back to the device
+    /// (tests that measure device behavior, and memory-pressure paths).
+    pub fn drop_page_cache(&mut self) {
+        self.page_cache.clear();
+    }
+
+    /// Number of blocks with a cached frame.
+    pub fn cached_pages(&self) -> usize {
+        self.page_cache.len()
+    }
+
     // ------------------------------------------------------------------
     // Object mutation (current epoch)
     // ------------------------------------------------------------------
@@ -512,16 +553,17 @@ impl ObjectStore {
         Ok(())
     }
 
-    /// Writes one page of an object. The data goes to a fresh COW block
-    /// asynchronously; durability is established by [`commit`].
+    /// Writes one page of an object. The frame is shared into the page
+    /// cache (no copy); its bytes go to a fresh COW block asynchronously;
+    /// durability is established by [`commit`].
     ///
     /// [`commit`]: ObjectStore::commit
-    pub fn write_page(&mut self, oid: Oid, pindex: u64, data: &[u8; PAGE]) -> Result<()> {
+    pub fn write_page(&mut self, oid: Oid, pindex: u64, data: &PageRef) -> Result<()> {
         if !self.objects.contains_key(&oid.0) {
             return Err(StoreError::NoSuchObject(oid));
         }
         let block = self.alloc_block()?;
-        let res = self.dev.lock().write(block, data);
+        let res = self.dev.lock().write(block, data.bytes());
         let completion = match res {
             Ok(c) => c,
             Err(e) => {
@@ -533,8 +575,9 @@ impl ObjectStore {
         self.charge.encode(PAGE as u64);
         self.dirty.max_completion = self.dirty.max_completion.max(completion.done_at);
         // Checksum the clean page as handed to the device; anything the
-        // medium flips afterwards is caught at read time.
-        let csum = fnv1a(data);
+        // medium flips afterwards is caught at read time. Computed once
+        // per frame write — cache hits never re-verify.
+        let csum = fnv1a(data.bytes());
         let epoch = self.cur_epoch;
         let o = self.objects.get_mut(&oid.0).expect("checked above");
         o.size = o.size.max((pindex + 1) * PAGE as u64);
@@ -543,12 +586,14 @@ impl ObjectStore {
             Some((e, b, c)) if *e == epoch => {
                 // Rewritten within the same (uncommitted) epoch: the old
                 // block was never committed and is immediately free.
+                self.page_cache.remove(b);
                 self.free_blocks.push(*b);
                 *b = block;
                 *c = csum;
             }
             _ => vs.push((epoch, block, csum)),
         }
+        self.page_cache.insert(block, data.clone());
         self.dirty.objects.insert(oid.0);
         Ok(())
     }
@@ -581,7 +626,7 @@ impl ObjectStore {
     /// for the whole batch instead of once per page.
     ///
     /// [`write_page`]: ObjectStore::write_page
-    pub fn write_pages(&mut self, oid: Oid, pages: &[(u64, [u8; PAGE])]) -> Result<()> {
+    pub fn write_pages(&mut self, oid: Oid, pages: &[(u64, PageRef)]) -> Result<()> {
         if pages.is_empty() {
             return Ok(());
         }
@@ -605,7 +650,7 @@ impl ObjectStore {
                 }
                 let mut buf = Vec::with_capacity((i - start + 1) * PAGE);
                 for (_, data) in &pages[start..=i] {
-                    buf.extend_from_slice(&data[..]);
+                    buf.extend_from_slice(data.bytes());
                 }
                 match dev.write(placed[start].0, &buf) {
                     Ok(completion) => max_done = max_done.max(completion.done_at),
@@ -631,7 +676,7 @@ impl ObjectStore {
         let o = self.objects.get_mut(&oid.0).expect("checked above");
         let mut recycled = Vec::new();
         for (&(block, pindex), (_, data)) in placed.iter().zip(pages) {
-            let csum = fnv1a(data);
+            let csum = fnv1a(data.bytes());
             o.size = o.size.max((pindex + 1) * PAGE as u64);
             let vs = o.versions.entry(pindex).or_default();
             match vs.last_mut() {
@@ -643,7 +688,13 @@ impl ObjectStore {
                 _ => vs.push((epoch, block, csum)),
             }
         }
-        self.free_blocks.extend(recycled);
+        for (&(block, _), (_, data)) in placed.iter().zip(pages) {
+            self.page_cache.insert(block, data.clone());
+        }
+        for b in recycled {
+            self.page_cache.remove(&b);
+            self.free_blocks.push(b);
+        }
         self.dirty.objects.insert(oid.0);
         Ok(())
     }
@@ -931,8 +982,10 @@ impl ObjectStore {
         })
     }
 
-    /// Reads one page as of `epoch` (synchronous device read).
-    pub fn read_page(&mut self, oid: Oid, pindex: u64, epoch: u64) -> Result<[u8; PAGE]> {
+    /// Reads one page as of `epoch`. A page-cache hit returns a shared
+    /// ref to the resident frame (no device read, no re-checksum); a miss
+    /// reads the device, verifies, and leaves the frame cached.
+    pub fn read_page(&mut self, oid: Oid, pindex: u64, epoch: u64) -> Result<PageRef> {
         self.check_epoch(epoch)?;
         let o = self.objects.get(&oid.0).ok_or(StoreError::NoSuchObject(oid))?;
         let vs = o.versions.get(&pindex).ok_or(StoreError::NoSuchPage(oid, pindex))?;
@@ -941,12 +994,17 @@ impl ObjectStore {
             .rev()
             .find(|(e, _, _)| *e <= epoch)
             .ok_or(StoreError::NoSuchPage(oid, pindex))?;
+        if let Some(p) = self.page_cache.get(&block) {
+            return Ok(p.clone());
+        }
         let data = {
             let mut dev = self.dev.lock();
             dev.read(block, 1).map_err(StoreError::dev("read-page", Some(oid), epoch))?
         };
         self.verify_page("verify-page", oid, epoch, block, csum, &data)?;
-        Ok(data.as_slice().try_into().expect("one block"))
+        let page = self.arena.alloc(data.as_slice().try_into().expect("one block"));
+        self.page_cache.insert(block, page.clone());
+        Ok(page)
     }
 
     /// Bulk-reads many pages as of `epoch`, coalescing physically
@@ -958,7 +1016,7 @@ impl ObjectStore {
         oid: Oid,
         epoch: u64,
         pindices: &[u64],
-    ) -> Result<Vec<(u64, [u8; PAGE])>> {
+    ) -> Result<Vec<(u64, PageRef)>> {
         self.check_epoch(epoch)?;
         let o = self.objects.get(&oid.0).ok_or(StoreError::NoSuchObject(oid))?;
         let mut located: Vec<(u64, u64, u64)> = Vec::with_capacity(pindices.len());
@@ -973,17 +1031,26 @@ impl ObjectStore {
         }
         located.sort_by_key(|&(_, b, _)| b);
         let mut out = Vec::with_capacity(located.len());
+        // Cached blocks are served as shared refs without touching the
+        // device; only the misses form the read plan.
+        let mut misses: Vec<(u64, u64, u64)> = Vec::with_capacity(located.len());
+        for &(pi, block, csum) in &located {
+            match self.page_cache.get(&block) {
+                Some(p) => out.push((pi, p.clone())),
+                None => misses.push((pi, block, csum)),
+            }
+        }
         // A restore issues its whole read plan at once (deep NVMe
         // queues); it completes when the slowest extent does.
         let issue_at = self.charge.clock().now();
         let mut done = issue_at;
         let mut i = 0;
-        while i < located.len() {
+        while i < misses.len() {
             let mut j = i + 1;
-            while j < located.len() && located[j].1 == located[j - 1].1 + 1 {
+            while j < misses.len() && misses[j].1 == misses[j - 1].1 + 1 {
                 j += 1;
             }
-            let run = &located[i..j];
+            let run = &misses[i..j];
             let (data, d) = self
                 .dev
                 .lock()
@@ -993,7 +1060,8 @@ impl ObjectStore {
             for (k, &(pi, block, csum)) in run.iter().enumerate() {
                 let bytes = &data[k * PAGE..(k + 1) * PAGE];
                 self.verify_page("verify-page", oid, epoch, block, csum, bytes)?;
-                let page: [u8; PAGE] = bytes.try_into().expect("exact page");
+                let page = self.arena.alloc(bytes.try_into().expect("exact page"));
+                self.page_cache.insert(block, page.clone());
                 out.push((pi, page));
             }
             i = j;
@@ -1003,7 +1071,7 @@ impl ObjectStore {
     }
 
     /// Reads a page at the latest committed epoch.
-    pub fn read_page_latest(&mut self, oid: Oid, pindex: u64) -> Result<[u8; PAGE]> {
+    pub fn read_page_latest(&mut self, oid: Oid, pindex: u64) -> Result<PageRef> {
         let e = self.last_epoch().ok_or(StoreError::NoSuchEpoch(0))?;
         self.read_page(oid, pindex, e)
     }
@@ -1023,7 +1091,7 @@ impl ObjectStore {
         pindex: u64,
         floor: u64,
         resume: u64,
-    ) -> Result<[u8; PAGE]> {
+    ) -> Result<PageRef> {
         let last = self.last_epoch().ok_or(StoreError::NoSuchEpoch(0))?;
         let o = self.objects.get(&oid.0).ok_or(StoreError::NoSuchObject(oid))?;
         let vs = o.versions.get(&pindex).ok_or(StoreError::NoSuchPage(oid, pindex))?;
@@ -1032,12 +1100,17 @@ impl ObjectStore {
             .rev()
             .find(|&&(e, _, _)| e <= last && (e <= floor || e >= resume))
             .ok_or(StoreError::NoSuchPage(oid, pindex))?;
+        if let Some(p) = self.page_cache.get(&block) {
+            return Ok(p.clone());
+        }
         let data = {
             let mut dev = self.dev.lock();
             dev.read(block, 1).map_err(StoreError::dev("read-page-pinned", Some(oid), last))?
         };
         self.verify_page("verify-page", oid, last, block, csum, &data)?;
-        Ok(data.as_slice().try_into().expect("one block"))
+        let page = self.arena.alloc(data.as_slice().try_into().expect("one block"));
+        self.page_cache.insert(block, page.clone());
+        Ok(page)
     }
 
     /// The next (in-progress) epoch number — the epoch a restore's
@@ -1216,21 +1289,27 @@ impl ObjectStore {
         Ok(())
     }
 
-    /// Simulates a machine crash: in-flight device writes are lost and
-    /// the store is reopened from disk.
+    /// Simulates a machine crash: in-flight device writes are lost, every
+    /// cached frame is dropped (RAM does not survive), and the store is
+    /// reopened from disk. The arena identity survives so gauges stay
+    /// continuous across the reboot.
     pub fn crash_and_recover(self) -> Result<Self> {
         let dev = self.dev.clone();
         let charge = self.charge.clone();
+        let arena = self.arena.clone();
         dev.lock().crash();
         drop(self);
-        Self::open(dev, charge)
+        let mut store = Self::open(dev, charge)?;
+        store.arena = arena;
+        Ok(store)
     }
 
     /// In-place variant of [`crash_and_recover`](Self::crash_and_recover)
     /// for stores behind shared handles.
     pub fn crash_and_reopen_in_place(&mut self) -> Result<()> {
         self.dev.lock().crash();
-        let recovered = Self::open(self.dev.clone(), self.charge.clone())?;
+        let mut recovered = Self::open(self.dev.clone(), self.charge.clone())?;
+        recovered.arena = self.arena.clone();
         *self = recovered;
         Ok(())
     }
@@ -1249,8 +1328,8 @@ mod tests {
         ObjectStore::format(dev, charge, 4096).unwrap()
     }
 
-    fn page(fill: u8) -> [u8; PAGE] {
-        [fill; PAGE]
+    fn page(fill: u8) -> PageRef {
+        PageRef::detached([fill; PAGE])
     }
 
     #[test]
@@ -1474,8 +1553,71 @@ mod tests {
         s.write_page(oid, 0, &page(1)).unwrap();
         let c = s.commit().unwrap();
         s.barrier(c);
+        s.drop_page_cache(); // force the device path
         let t0 = s.charge().clock().now();
         s.read_page(oid, 0, 1).unwrap();
         assert!(s.charge().clock().now() > t0, "device read takes time");
+    }
+
+    #[test]
+    fn cached_reads_share_the_written_frame_and_skip_the_device() {
+        let mut s = fresh();
+        let oid = s.alloc_oid();
+        s.create_object(oid, ObjectKind::Memory).unwrap();
+        let written = page(7);
+        s.write_page(oid, 0, &written).unwrap();
+        let c = s.commit().unwrap();
+        s.barrier(c);
+        let t0 = s.charge().clock().now();
+        let got = s.read_page(oid, 0, 1).unwrap();
+        assert!(PageRef::ptr_eq(&got, &written), "read aliases the written frame");
+        assert_eq!(s.charge().clock().now(), t0, "cache hit costs no device time");
+        // A cold cache repopulates from the device and then aliases.
+        s.drop_page_cache();
+        let a = s.read_page(oid, 0, 1).unwrap();
+        let b = s.read_page(oid, 0, 1).unwrap();
+        assert!(PageRef::ptr_eq(&a, &b), "miss then hit share one frame");
+        assert_eq!(a, written);
+    }
+
+    #[test]
+    fn block_reuse_invalidates_cached_frame() {
+        let mut s = fresh();
+        let oid = s.alloc_oid();
+        s.create_object(oid, ObjectKind::Memory).unwrap();
+        s.write_page(oid, 0, &page(1)).unwrap();
+        let c = s.commit().unwrap();
+        s.barrier(c);
+        s.write_page(oid, 0, &page(2)).unwrap();
+        let c = s.commit().unwrap();
+        s.barrier(c);
+        // Drop epoch 1; its superseded block eventually re-enters the
+        // allocator. A later write reusing it must not leave epoch-1 bytes
+        // servable from the cache.
+        s.drop_oldest_checkpoint().unwrap();
+        s.write_page(oid, 1, &page(3)).unwrap();
+        let c = s.commit().unwrap();
+        s.barrier(c);
+        for _ in 0..4 {
+            s.write_page(oid, 2, &page(4)).unwrap();
+            let c = s.commit().unwrap();
+            s.barrier(c);
+        }
+        assert_eq!(s.read_page(oid, 0, s.last_epoch().unwrap()).unwrap(), page(2));
+        assert_eq!(s.read_page(oid, 2, s.last_epoch().unwrap()).unwrap(), page(4));
+    }
+
+    #[test]
+    fn crash_reopen_starts_with_a_cold_cache() {
+        let mut s = fresh();
+        let oid = s.alloc_oid();
+        s.create_object(oid, ObjectKind::Memory).unwrap();
+        s.write_page(oid, 0, &page(9)).unwrap();
+        let c = s.commit().unwrap();
+        s.barrier(c);
+        assert!(s.cached_pages() > 0);
+        let mut s = s.crash_and_recover().unwrap();
+        assert_eq!(s.cached_pages(), 0, "RAM does not survive a crash");
+        assert_eq!(s.read_page(oid, 0, 1).unwrap(), page(9));
     }
 }

@@ -3,7 +3,7 @@
 //! semantically identical to their per-item forms, while issuing fewer,
 //! larger device operations.
 
-use aurora_objstore::{ObjectKind, ObjectStore, Oid, PAGE};
+use aurora_objstore::{ObjectKind, ObjectStore, Oid, PageRef, PAGE};
 use aurora_sim::cost::Charge;
 use aurora_sim::{Clock, CostModel};
 use aurora_storage::testbed_array;
@@ -14,8 +14,8 @@ fn fresh() -> ObjectStore {
     ObjectStore::format(dev, Charge::new(clock, CostModel::default()), 2048).unwrap()
 }
 
-fn page(fill: u8) -> [u8; PAGE] {
-    [fill; PAGE]
+fn page(fill: u8) -> PageRef {
+    PageRef::detached([fill; PAGE])
 }
 
 fn mem_obj(store: &mut ObjectStore) -> Oid {
@@ -26,7 +26,7 @@ fn mem_obj(store: &mut ObjectStore) -> Oid {
 
 #[test]
 fn write_pages_matches_per_page_writes() {
-    let writes: Vec<(u64, [u8; PAGE])> =
+    let writes: Vec<(u64, PageRef)> =
         (0..12u64).map(|pi| (pi * 3 % 12, page(pi as u8 + 1))).collect();
 
     let mut a = fresh();

@@ -63,7 +63,8 @@ fn recovery_exposes_a_committed_prefix() {
             }
             match op {
                 Op::Write { obj, pindex, fill } => {
-                    store.write_page(oids[*obj], *pindex, &[*fill; 4096]).unwrap();
+                    let p = aurora_objstore::PageRef::detached([*fill; 4096]);
+                    store.write_page(oids[*obj], *pindex, &p).unwrap();
                     cur[*obj].insert(*pindex, *fill);
                 }
                 Op::Commit { wait } => {

@@ -8,7 +8,7 @@
 //! for CI; unset, every write boundary is explored.
 
 use aurora_objstore::explore::Explorer;
-use aurora_objstore::{ObjectKind, ObjectStore, StoreError, PAGE};
+use aurora_objstore::{ObjectKind, ObjectStore, PageRef, StoreError, PAGE};
 use aurora_sim::cost::Charge;
 use aurora_sim::{Clock, CostModel};
 use aurora_storage::faulty::FaultPlan;
@@ -105,13 +105,14 @@ fn transient_error_during_page_write_is_retryable() {
     let mut plan = FaultPlan::none();
     plan.transient_writes.insert(handle.writes_seen());
     handle.set_plan(plan);
-    let err = store.write_page(oid, 0, &[7u8; PAGE]).unwrap_err();
+    let seven = PageRef::detached([7u8; PAGE]);
+    let err = store.write_page(oid, 0, &seven).unwrap_err();
     assert!(err.is_transient());
-    store.write_page(oid, 0, &[7u8; PAGE]).unwrap();
+    store.write_page(oid, 0, &seven).unwrap();
     let c = store.commit().unwrap();
     store.barrier(c);
     let mut rec = store.crash_and_recover().unwrap();
-    assert_eq!(rec.read_page(oid, 0, c.epoch).unwrap(), [7u8; PAGE]);
+    assert_eq!(*rec.read_page(oid, 0, c.epoch).unwrap(), [7u8; PAGE]);
 }
 
 /// A transient error during commit leaves the log retryable: the second
@@ -124,7 +125,7 @@ fn transient_error_during_commit_is_retryable() {
     let mut store = ObjectStore::format(dev, charge, 1024).unwrap();
     let oid = store.alloc_oid();
     store.create_object(oid, ObjectKind::Memory).unwrap();
-    store.write_page(oid, 0, &[3u8; PAGE]).unwrap();
+    store.write_page(oid, 0, &PageRef::detached([3u8; PAGE])).unwrap();
 
     // Fail the commit's payload write once.
     let mut plan = FaultPlan::none();
@@ -137,7 +138,7 @@ fn transient_error_during_commit_is_retryable() {
     store.barrier(c);
     let mut rec = store.crash_and_recover().unwrap();
     assert_eq!(rec.epochs(), &[c.epoch], "exactly one committed epoch");
-    assert_eq!(rec.read_page(oid, 0, c.epoch).unwrap(), [3u8; PAGE]);
+    assert_eq!(*rec.read_page(oid, 0, c.epoch).unwrap(), [3u8; PAGE]);
 }
 
 /// Silent bit-flips never panic recovery: metadata corruption is caught
@@ -157,7 +158,7 @@ fn bitflips_degrade_gracefully() {
         store.create_object(oid, ObjectKind::Memory).unwrap();
         let mut committed = Vec::new();
         for i in 0..10u8 {
-            store.write_page(oid, (i % 4) as u64, &[i; PAGE]).unwrap();
+            store.write_page(oid, (i % 4) as u64, &PageRef::detached([i; PAGE])).unwrap();
             let c = store.commit().unwrap();
             store.barrier(c);
             committed.push(c.epoch);
@@ -199,11 +200,15 @@ fn bitflip_on_data_page_is_detected_at_read() {
 
     // Corrupt exactly the page-data write; the commit record stays clean.
     handle.set_plan(FaultPlan { bitflip_per_write: 1.0, seed: 7, ..FaultPlan::none() });
-    store.write_page(oid, 0, &[0x5Au8; PAGE]).unwrap();
+    store.write_page(oid, 0, &PageRef::detached([0x5Au8; PAGE])).unwrap();
     handle.clear_faults();
     let c = store.commit().unwrap();
     store.barrier(c);
 
+    // The page cache still holds the clean frame handed to write_page;
+    // only the device copy is flipped. Drop it so the read goes to the
+    // medium — the path the checksum protects.
+    store.drop_page_cache();
     let err = store.read_page(oid, 0, c.epoch).unwrap_err();
     assert!(
         matches!(err, StoreError::Device { op: "verify-page", oid: Some(o), .. } if o == oid),
@@ -232,7 +237,7 @@ fn scrub_passes_on_clean_history() {
     let oid = store.alloc_oid();
     store.create_object(oid, ObjectKind::Memory).unwrap();
     for i in 0..6u8 {
-        store.write_page(oid, i as u64, &[i; PAGE]).unwrap();
+        store.write_page(oid, i as u64, &PageRef::detached([i; PAGE])).unwrap();
         let c = store.commit().unwrap();
         store.barrier(c);
     }

@@ -8,7 +8,7 @@
 
 use crate::object::PageSlot;
 use crate::pmap::Pte;
-use crate::types::{zero_page, FrameId, ObjId, Prot, SpaceId, VmError, PAGE_SIZE};
+use crate::types::{FrameId, ObjId, Prot, SpaceId, VmError, PAGE_SIZE};
 use crate::Vm;
 
 /// Where a fault found its page.
@@ -114,8 +114,12 @@ impl Vm {
                     if top_shared {
                         self.pv_invalidate_frame(frame);
                     }
-                    let data = Box::new(**self.frames.get(&frame).expect("resident frame"));
-                    let new_frame = self.alloc_frame(data);
+                    // The break is a refcount bump: the top object gets its
+                    // own frame slot sharing the ancestor's bytes. The host
+                    // copy is deferred to the first byte actually written
+                    // (make_mut in `write`).
+                    let page = self.frames.get(&frame).expect("resident frame").clone();
+                    let new_frame = self.alloc_frame(page);
                     let obj = self.objects.get_mut(&top).expect("top exists");
                     obj.pages.insert(pindex, PageSlot::Resident { frame: new_frame, dirty: true });
                     self.stats.cow_breaks += 1;
@@ -123,9 +127,12 @@ impl Vm {
                 }
             }
             (Found::Missing, _) => {
-                // Zero-fill into the top object. The page is dirty from the
-                // store's perspective (never persisted).
-                let frame = self.alloc_frame(zero_page());
+                // Zero-fill into the top object: a ref to the arena's
+                // shared zero frame, materialized on first byte write. The
+                // page is dirty from the store's perspective (never
+                // persisted).
+                let z = self.arena.zero();
+                let frame = self.alloc_frame(z);
                 let obj = self.objects.get_mut(&top).expect("top exists");
                 obj.pages.insert(pindex, PageSlot::Resident { frame, dirty: true });
                 self.stats.zero_fills += 1;
@@ -176,7 +183,8 @@ impl Vm {
             let off = (cur % PAGE_SIZE as u64) as usize;
             let chunk = (PAGE_SIZE - off).min(data.len() - done);
             let frame = self.resolve_fault(space, vpn, true)?;
-            let page = self.frames.get_mut(&frame).expect("resident frame");
+            let page =
+                self.arena.make_mut(self.frames.get_mut(&frame).expect("resident frame"));
             page[off..off + chunk].copy_from_slice(&data[done..done + chunk]);
             done += chunk;
         }
@@ -343,7 +351,7 @@ mod tests {
         }
         // Pager brings the page back and the read succeeds.
         let mut page = crate::types::zero_page();
-        page[0] = 9;
+        vm.arena.make_mut(&mut page)[0] = 9;
         vm.install_page(top, 0, page, false).unwrap();
         vm.read(s, a, &mut buf).unwrap();
         assert_eq!(buf, [9]);

@@ -37,7 +37,9 @@ pub use object::{ObjKind, PageSlot, VmObject};
 pub use shadow::{CollapseMode, CollapseReport, ShadowPair};
 pub use space::{Inherit, VmMapEntry, VmSpace};
 pub use stats::VmStats;
-pub use types::{FrameId, ObjId, PageData, Prot, SpaceId, VmError, PAGE_SIZE};
+pub use types::{
+    FrameArena, FrameGauges, FrameId, ObjId, PageData, PageRef, Prot, SpaceId, VmError, PAGE_SIZE,
+};
 
 use std::collections::HashMap;
 
@@ -57,6 +59,10 @@ pub struct Vm {
     pub(crate) next_space: u64,
     pub(crate) next_frame: u64,
     pub(crate) next_lineage: u64,
+    /// The frame arena this VM allocates pages from. Shared (via clone)
+    /// with the object store so a page keeps one identity from a process's
+    /// address space down to the store's page cache.
+    pub arena: FrameArena,
     /// Monotonic operation counters; see [`stats::VmStats`].
     pub stats: VmStats,
     /// Optional event recorder; disabled by default (pure no-op).
@@ -73,6 +79,18 @@ impl Vm {
     /// handle's timestamps come from whoever built it.
     pub fn set_trace(&mut self, trace: aurora_trace::Trace) {
         self.trace = trace;
+    }
+
+    /// Replaces the frame arena (used after a simulated reboot to adopt
+    /// the store's long-lived arena so restored pages share frames with
+    /// the store's page cache).
+    pub fn set_arena(&mut self, arena: FrameArena) {
+        self.arena = arena;
+    }
+
+    /// Snapshot of the arena's frame gauges.
+    pub fn frame_gauges(&self) -> FrameGauges {
+        self.arena.gauges()
     }
 
     /// Number of live VM objects.

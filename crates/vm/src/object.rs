@@ -252,7 +252,19 @@ impl Vm {
         let o = self.objects.get(&obj).ok_or(VmError::NoSuchObject(obj))?;
         match o.pages.get(&pindex) {
             Some(PageSlot::Resident { frame, .. }) => {
-                Ok(self.frames.get(frame).expect("resident frame exists"))
+                Ok(self.frames.get(frame).expect("resident frame exists").bytes())
+            }
+            _ => Err(VmError::NeedsPage { obj, pindex }),
+        }
+    }
+
+    /// Hands out a shared ref to a resident page's frame (the flusher's
+    /// path into the store: the frame travels by refcount, never by copy).
+    pub fn page_ref(&self, obj: ObjId, pindex: u64) -> Result<crate::types::PageData, VmError> {
+        let o = self.objects.get(&obj).ok_or(VmError::NoSuchObject(obj))?;
+        match o.pages.get(&pindex) {
+            Some(PageSlot::Resident { frame, .. }) => {
+                Ok(self.frames.get(frame).expect("resident frame exists").clone())
             }
             _ => Err(VmError::NeedsPage { obj, pindex }),
         }
@@ -290,7 +302,7 @@ mod tests {
         let mut vm = Vm::new();
         let o = vm.create_object(ObjKind::Anonymous, 4);
         let mut p = zero_page();
-        p[0] = 0xAB;
+        vm.arena.make_mut(&mut p)[0] = 0xAB;
         vm.install_page(o, 2, p, true).unwrap();
         assert_eq!(vm.page_bytes(o, 2).unwrap()[0], 0xAB);
         assert_eq!(vm.object(o).unwrap().dirty_pages(), 1);
@@ -321,7 +333,7 @@ mod tests {
         let o = vm.create_object(ObjKind::Anonymous, 1);
         vm.install_page(o, 0, zero_page(), false).unwrap();
         let mut p = zero_page();
-        p[1] = 7;
+        vm.arena.make_mut(&mut p)[1] = 7;
         vm.install_page(o, 0, p, false).unwrap();
         assert_eq!(vm.resident_frames(), 1, "old frame must be freed");
         assert_eq!(vm.page_bytes(o, 0).unwrap()[1], 7);

@@ -17,7 +17,7 @@ pub enum Inherit {
 }
 
 /// One mapped region (FreeBSD `vm_map_entry`).
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct VmMapEntry {
     /// First mapped address (page aligned).
     pub start: u64,
@@ -212,16 +212,19 @@ impl Vm {
     /// parent's until its first write; eager creation is equivalent for
     /// correctness and simplifies fault handling).
     pub fn fork_space(&mut self, parent: SpaceId) -> Result<SpaceId, VmError> {
-        let parent_entries =
-            self.spaces.get(&parent).ok_or(VmError::NoSuchSpace(parent))?.entries.clone();
+        // Entries are copied one at a time by index rather than cloning the
+        // parent's whole entry list up front: a wide space (thousands of
+        // entries) would otherwise be deep-copied per fork.
+        let n = self.spaces.get(&parent).ok_or(VmError::NoSuchSpace(parent))?.entries.len();
         let child = self.create_space();
-        for entry in parent_entries {
+        for i in 0..n {
+            let entry = self.spaces.get(&parent).expect("checked above").entries[i];
             match entry.inherit {
                 Inherit::None => {}
                 Inherit::Share => {
                     self.ref_object(entry.object)?;
                     let sp = self.spaces.get_mut(&child).expect("just created");
-                    sp.entries.push(entry.clone());
+                    sp.entries.push(entry);
                 }
                 Inherit::Copy => {
                     let obj = entry.object;
@@ -256,7 +259,7 @@ impl Vm {
                     }
                     self.unref_object(obj)?;
                     let sp = self.spaces.get_mut(&child).expect("just created");
-                    let mut ce = entry.clone();
+                    let mut ce = entry;
                     ce.object = child_shadow;
                     sp.entries.push(ce);
                 }

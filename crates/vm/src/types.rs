@@ -2,8 +2,7 @@
 
 use std::fmt;
 
-/// Page size in bytes (x86-64 base pages, as in the paper's testbed).
-pub const PAGE_SIZE: usize = 4096;
+pub use aurora_frames::{FrameArena, FrameGauges, PageBytes, PageRef, PAGE_SIZE};
 
 /// Identifier of a VM object.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -28,13 +27,15 @@ pub struct FrameId(pub u64);
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Lineage(pub u64);
 
-/// One page of data.
-pub type PageData = Box<[u8; PAGE_SIZE]>;
+/// One page of data: a refcounted frame in the arena. Cloning shares
+/// the frame; mutation goes through [`FrameArena::make_mut`].
+pub type PageData = PageRef;
 
-/// Allocates a zeroed page.
+/// The shared zero frame. No allocation: every call hands out a ref to
+/// one process-wide frame of zeros; the first write through an arena
+/// materializes a private copy.
 pub fn zero_page() -> PageData {
-    // SAFETY-free fast path: a boxed zeroed array.
-    vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().expect("exact length")
+    PageRef::zero()
 }
 
 /// Memory protection bits.
@@ -127,5 +128,12 @@ mod tests {
     #[test]
     fn zero_page_is_zero() {
         assert!(zero_page().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn zero_page_is_one_shared_frame() {
+        let a = zero_page();
+        let b = zero_page();
+        assert!(PageRef::ptr_eq(&a, &b), "zero_page must not allocate");
     }
 }
