@@ -54,12 +54,24 @@ pub struct BenchReport {
     pub metrics: Vec<Metric>,
     /// Frame-arena gauges, when the benchmark exercises the arena.
     pub frames: Option<FrameBlock>,
+    /// Pre-rendered virtual-time series
+    /// ([`aurora_trace::Sampler::series_json`]), spliced verbatim into
+    /// the report's `timeseries` key.
+    pub timeseries: Option<String>,
+    /// Named latency histograms merged across the benchmark's runs,
+    /// summarized into the report's `histograms` block.
+    pub histograms: Vec<(String, aurora_trace::Histogram)>,
 }
 
 impl BenchReport {
     /// Creates an empty report.
     pub fn new(name: &str) -> Self {
-        Self { name: name.to_string(), metrics: Vec::new(), frames: None }
+        Self::default().named(name)
+    }
+
+    fn named(mut self, name: &str) -> Self {
+        self.name = name.to_string();
+        self
     }
 
     /// Records one measurement.
@@ -70,6 +82,27 @@ impl BenchReport {
     /// Attaches the frame-arena gauge snapshot.
     pub fn set_frames(&mut self, frames: FrameBlock) {
         self.frames = Some(frames);
+    }
+
+    /// Attaches a virtual-time metrics series (the sampler's
+    /// deterministic JSON). Panics on malformed JSON — the string is
+    /// spliced into the report verbatim.
+    pub fn set_timeseries(&mut self, series_json: String) {
+        aurora_trace::json::validate(&series_json)
+            .unwrap_or_else(|e| panic!("timeseries block is not valid JSON: {e}"));
+        self.timeseries = Some(series_json);
+    }
+
+    /// Merges `h` into the named histogram (creating it on first use) —
+    /// per-run histograms accumulate via [`aurora_trace::Histogram::merge`].
+    pub fn merge_histogram(&mut self, name: &str, h: &aurora_trace::Histogram) {
+        if h.count == 0 {
+            return;
+        }
+        match self.histograms.iter_mut().find(|(n, _)| n == name) {
+            Some((_, have)) => have.merge(h),
+            None => self.histograms.push((name.to_string(), h.clone())),
+        }
     }
 
     /// Serializes the report as deterministic JSON (insertion order, no
@@ -100,6 +133,32 @@ impl BenchReport {
                  \"shared_at_checkpoint\":{}}}",
                 f.resident, f.shared, f.copies_broken, f.shared_at_checkpoint
             ));
+        }
+        if let Some(ts) = &self.timeseries {
+            out.push_str(",\"timeseries\":");
+            out.push_str(ts);
+        }
+        if !self.histograms.is_empty() {
+            out.push_str(",\"histograms\":{");
+            for (i, (name, h)) in self.histograms.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\
+                     \"p50\":{},\"p95\":{},\"p99\":{}}}",
+                    escape(name),
+                    h.count,
+                    h.sum,
+                    if h.count == 0 { 0 } else { h.min },
+                    h.max,
+                    h.mean(),
+                    h.percentile(50),
+                    h.percentile(95),
+                    h.percentile(99),
+                ));
+            }
+            out.push('}');
         }
         out.push('}');
         out

@@ -12,8 +12,13 @@ use aurora_core::{AuroraApi, SlsOptions};
 use aurora_sim::units::{fmt_bytes, fmt_ns, GIB, KIB, MIB};
 use aurora_vm::PAGE_SIZE;
 
-fn incremental_stop(size: u64) -> (u64, FrameBlock) {
+fn incremental_stop(size: u64) -> (u64, FrameBlock, aurora_trace::Trace, aurora_trace::Sampler) {
     let mut w = World::with_store_bytes(3 << 30);
+    // Arm the observability layer: per-stage latency histograms via the
+    // trace, gauge rows via the sampler. Recording never advances the
+    // virtual clock, so the measured stop times are unchanged.
+    let trace = w.enable_tracing();
+    let sampler = w.enable_sampling(1_000);
     let pid = w.sls.kernel.spawn("table5");
     let pages = (size / PAGE_SIZE as u64).max(1);
     let addr = w.dirty_region(pid, pages).unwrap();
@@ -33,7 +38,7 @@ fn incremental_stop(size: u64) -> (u64, FrameBlock) {
         copies_broken: g.copies_broken,
         shared_at_checkpoint: stats.shared_frames,
     };
-    (stats.stop_time_ns, frames)
+    (stats.stop_time_ns, frames, trace, sampler)
 }
 
 fn atomic_stop(size: u64) -> u64 {
@@ -94,10 +99,16 @@ pub fn run() -> BenchReport {
         &["size", "incremental", "(paper)", "atomic", "(paper)", "journaled", "(paper)"],
     );
     for (i, &size) in sizes.iter().enumerate() {
-        let (inc, frames) = incremental_stop(size);
+        let (inc, frames, trace, sampler) = incremental_stop(size);
         // The arena gauges of the largest incremental run go out with the
         // report: how much frame sharing the checkpoint achieved.
         report.set_frames(frames);
+        // Stage latencies accumulate across every size into one summary
+        // per stage; the time series of the largest run goes out whole.
+        for (name, h) in trace.histograms() {
+            report.merge_histogram(&name, &h);
+        }
+        report.set_timeseries(sampler.series_json());
         let atomic = atomic_stop(size);
         let journal = journaled_time(size);
         row(&[

@@ -10,10 +10,20 @@
 //! command's effect is visible: attach → periodic checkpoints → named
 //! checkpoint → ps → crash → restore → time travel → suspend/resume →
 //! dump → send/recv migration.
+//!
+//! ```text
+//! sls stat                 run an instrumented workload, dump every gauge
+//! sls watch                same workload, one live line per metrics sample
+//! ```
+//!
+//! Both boot the machine with the virtual-time metrics sampler and the
+//! online invariant checker armed; `stat --prom` / `stat --json` emit
+//! the Prometheus text and time-series JSON exporters verbatim.
 
 use aurora_core::world::World;
 use aurora_core::{AuroraApi, RestoreMode, SlsOptions};
 use aurora_sim::units::{fmt_bytes, fmt_ns};
+use aurora_trace::{InvariantChecker, ProbeSpec};
 use std::env;
 use std::io::Write;
 
@@ -30,6 +40,22 @@ fn main() {
                 .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| "trace.json".into()));
             demo(trace_path.as_deref());
         }
+        "stat" => {
+            let prom = args.iter().any(|a| a == "--prom");
+            let json = args.iter().any(|a| a == "--json");
+            if prom && json {
+                eprintln!("pick one of --prom / --json");
+                std::process::exit(2);
+            }
+            let period = flag_u64(&args, "--period").unwrap_or(10_000_000);
+            let probe = flag_str(&args, "--probe");
+            stat(prom, json, period, probe.as_deref());
+        }
+        "watch" => {
+            let period = flag_u64(&args, "--period").unwrap_or(10_000_000);
+            let steps = flag_u64(&args, "--steps").unwrap_or(12);
+            watch(period, steps);
+        }
         "help" | "--help" | "-h" => usage(),
         other => {
             eprintln!("unknown or non-interactive command: {other}");
@@ -40,17 +66,187 @@ fn main() {
     }
 }
 
+/// `--flag N` style argument, parsed as u64.
+fn flag_u64(args: &[String], name: &str) -> Option<u64> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).and_then(|v| {
+        v.parse().map_err(|_| eprintln!("{name} wants a number, got {v:?}")).ok()
+    })
+}
+
+/// `--flag VALUE` style argument, as a string.
+fn flag_str(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
 fn usage() {
     println!(
         "sls — the Aurora single level store CLI (reproduction)\n\n\
-         USAGE: sls demo [--trace FILE]\n\n\
-         --trace FILE  record a deterministic event trace of the demo\n\
-         \x20             and write Chrome trace-event JSON (open it in\n\
-         \x20             Perfetto or chrome://tracing)\n\n\
-         The demo walks the paper's Table 2 workflow on a simulated\n\
-         machine: attach → periodic checkpoints → named checkpoint →\n\
-         ps → crash → restore → time travel → suspend/resume →\n\
-         dump → send/recv migration."
+         USAGE: sls demo [--trace FILE]\n\
+         \x20      sls stat [--prom | --json] [--period NS] [--probe PREFIX]\n\
+         \x20      sls watch [--period NS] [--steps N]\n\n\
+         demo   walk the paper's Table 2 workflow: attach → periodic\n\
+         \x20      checkpoints → named checkpoint → ps → crash → restore →\n\
+         \x20      time travel → suspend/resume → dump → send/recv migration\n\
+         \x20      --trace FILE  write Chrome trace-event JSON of the run\n\
+         \x20                    (open in Perfetto or chrome://tracing)\n\n\
+         stat   run an instrumented workload (checkpoints, a crash, a\n\
+         \x20      restore) with the metrics sampler and invariant checker\n\
+         \x20      armed, then print every subsystem gauge\n\
+         \x20      --prom        emit Prometheus text exposition instead\n\
+         \x20      --json        emit the deterministic time-series JSON\n\
+         \x20      --period NS   virtual-time sampling period (default 10ms)\n\
+         \x20      --probe PFX   count events whose name starts with PFX\n\n\
+         watch  same workload, printing one line per metrics sample as\n\
+         \x20      virtual time advances (a `sls stat` you can scroll)"
+    );
+}
+
+/// The canned workload `stat`/`watch` instrument: attach a counter app,
+/// six checkpointed work intervals, a durable named checkpoint, a power
+/// loss, recovery, restore, and two more intervals. Deterministic — two
+/// runs produce byte-identical exporter output. `step` is called after
+/// every `tick` with the 1-based interval number.
+fn instrumented_workload(w: &mut World, mut step: impl FnMut(&mut World, u64)) {
+    let pid = w.spawn_counter_app();
+    let gid = w.sls.attach(pid, SlsOptions::default()).unwrap();
+    for i in 1..=6u64 {
+        w.bump_counter(pid).unwrap();
+        w.clock.advance(10_000_000);
+        w.sls.tick().unwrap();
+        step(w, i);
+    }
+    w.sls.name_checkpoint(gid, "stat-probe").unwrap();
+    w.sls.sls_barrier(gid).unwrap();
+    w.sls.crash_and_reboot().unwrap();
+    step(w, 7);
+    let epoch = w.sls.store().lock().last_epoch().unwrap();
+    let manifest = w.sls.manifests_at(epoch).unwrap()[0];
+    let r = w.sls.restore_image(manifest, epoch, RestoreMode::Full).unwrap();
+    let pid = r.pids[0];
+    for i in 8..=9u64 {
+        w.bump_counter(pid).unwrap();
+        w.clock.advance(10_000_000);
+        w.sls.tick().unwrap();
+        step(w, i);
+    }
+}
+
+fn stat(prom: bool, json: bool, period: u64, probe: Option<&str>) {
+    let mut w = World::quickstart();
+    let trace = w.enable_tracing();
+    let checker = InvariantChecker::arm(&trace);
+    let sampler = w.enable_sampling(period);
+    let probe_id = probe
+        .map(|p| trace.probe(ProbeSpec::any().name_prefix(p.to_string()), |_| {}));
+    instrumented_workload(&mut w, |_, _| {});
+    w.sls.sample_metrics();
+
+    if prom {
+        print!("{}", sampler.prometheus_text("aurora"));
+        return;
+    }
+    if json {
+        println!("{}", sampler.series_json());
+        return;
+    }
+
+    let now = w.clock.now();
+    println!("sls stat — Aurora gauges after the instrumented workload (t={})", fmt_ns(now));
+    println!();
+    let gauges = w.sls.stat_gauges();
+    let width = gauges.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    for (name, value) in &gauges {
+        println!("  {name:<width$}  {value}");
+    }
+    println!();
+    println!(
+        "sampler: {} rows every {} of virtual time; marks: {}",
+        sampler.len(),
+        fmt_ns(sampler.period_ns()),
+        sampler
+            .marks()
+            .iter()
+            .map(|(ts, l)| format!("{l}@{}", fmt_ns(*ts)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    if let (Some(p), Some(id)) = (probe, probe_id) {
+        println!("probe {p:?}: {} matching events", trace.probe_hits(id));
+    }
+    println!(
+        "invariants: {} events checked, {}",
+        checker.checked(),
+        if checker.is_clean() {
+            "all clean".to_string()
+        } else {
+            format!("{} VIOLATIONS: {:?}", checker.violations().len(), checker.violations())
+        }
+    );
+}
+
+fn watch(period: u64, steps: u64) {
+    let mut w = World::quickstart();
+    let trace = w.enable_tracing();
+    let checker = InvariantChecker::arm(&trace);
+    let sampler = w.enable_sampling(period);
+    println!("sls watch — one line per metrics sample (virtual-time period {})", fmt_ns(period));
+    const COLS: [&str; 5] = [
+        "store.current_epoch",
+        "frames.resident",
+        "store.cache_pages",
+        "pipeline.checkpoints",
+        "dev.bytes_written",
+    ];
+    println!(
+        "  {:>10}  {}",
+        "t",
+        COLS.map(|c| format!("{c:>20}")).join("  ")
+    );
+    let mut seen = 0usize;
+    let mut seen_marks = 0usize;
+    let emit = |sampler: &aurora_trace::Sampler, seen: &mut usize, seen_marks: &mut usize| {
+        // Merge new sample rows and new discontinuity marks by virtual
+        // time so a reboot prints between the rows it interrupted.
+        let marks = sampler.marks();
+        let samples = sampler.samples();
+        let mut lines: Vec<(u64, String)> = Vec::new();
+        for (ts, label) in marks.iter().skip(*seen_marks) {
+            lines.push((*ts, format!("  {:>10}  -- {label} --", fmt_ns(*ts))));
+            *seen_marks += 1;
+        }
+        for s in samples.iter().skip(*seen) {
+            let row = COLS
+                .map(|c| {
+                    s.values
+                        .iter()
+                        .find(|(n, _)| n == c)
+                        .map(|(_, v)| format!("{v:>20}"))
+                        .unwrap_or_else(|| format!("{:>20}", "-"))
+                })
+                .join("  ");
+            lines.push((s.ts, format!("  {:>10}  {row}", fmt_ns(s.ts))));
+            *seen += 1;
+        }
+        lines.sort_by_key(|(ts, _)| *ts);
+        for (_, line) in lines {
+            println!("{line}");
+        }
+    };
+    let mut left = steps;
+    instrumented_workload(&mut w, |w, _| {
+        if left > 0 {
+            w.sls.sample_metrics();
+            emit(w.sls.sampler().unwrap(), &mut seen, &mut seen_marks);
+            left -= 1;
+        }
+    });
+    w.sls.sample_metrics();
+    emit(&sampler, &mut seen, &mut seen_marks);
+    println!(
+        "watched {} samples; invariants: {} events checked, {}",
+        seen,
+        checker.checked(),
+        if checker.is_clean() { "all clean" } else { "VIOLATIONS" }
     );
 }
 

@@ -241,6 +241,10 @@ impl Sls {
     /// periodic driver). The first checkpoint is full; later ones are
     /// incremental.
     pub fn checkpoint_now(&mut self, gid: GroupId) -> Result<CheckpointStats, SlsError> {
-        crate::pipeline::CheckpointPipeline::new(self, gid)?.run()
+        let stats = crate::pipeline::CheckpointPipeline::new(self, gid)?.run()?;
+        self.checkpoints_taken += 1;
+        self.last_stats = Some(stats.clone());
+        self.sample_metrics();
+        Ok(stats)
     }
 }

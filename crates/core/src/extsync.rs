@@ -125,6 +125,7 @@ impl Sls {
                     }
                 }
             }
+            self.extsync_released += released_batches.len() as u64;
             let trace = self.kernel.charge.trace();
             if trace.is_enabled() {
                 for (epoch, durable_at, sockets) in released_batches {

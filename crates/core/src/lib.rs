@@ -157,6 +157,16 @@ pub struct Sls {
     /// The installed trace recorder (disabled by default), kept here so
     /// a crash/reboot can re-arm the fresh kernel with it.
     trace: aurora_trace::Trace,
+    /// The installed metrics sampler (absent by default). Polled at
+    /// checkpoint and tick boundaries; never advances the clock.
+    sampler: Option<aurora_trace::Sampler>,
+    /// Stage timings of the most recent checkpoint (gauge source).
+    pub(crate) last_stats: Option<CheckpointStats>,
+    /// Checkpoints committed since boot, across groups.
+    pub(crate) checkpoints_taken: u64,
+    /// External-synchrony batches sealed / released since boot.
+    pub(crate) extsync_sealed: u64,
+    pub(crate) extsync_released: u64,
     next_group: u64,
 }
 
@@ -181,6 +191,11 @@ impl Sls {
             lineage_oids,
             registry: Arc::new(registry::default_registry()),
             trace: aurora_trace::Trace::disabled(),
+            sampler: None,
+            last_stats: None,
+            checkpoints_taken: 0,
+            extsync_sealed: 0,
+            extsync_released: 0,
             next_group: 1,
         }
     }
@@ -199,6 +214,84 @@ impl Sls {
         self.kernel.vm.set_trace(trace.clone());
         self.store.lock().set_trace(trace.clone());
         self.trace = trace;
+    }
+
+    /// Installs a virtual-time metrics sampler polling at most once per
+    /// `period_ns`. Returns a handle sharing the series (for exporters).
+    /// Polls happen at checkpoint/tick boundaries; none of them reads or
+    /// advances the clock beyond what the run already does, so sampling
+    /// cannot perturb the virtual timeline.
+    pub fn install_sampler(&mut self, period_ns: u64) -> aurora_trace::Sampler {
+        let s = aurora_trace::Sampler::new(period_ns);
+        self.sampler = Some(s.clone());
+        s
+    }
+
+    /// The installed sampler, if any.
+    pub fn sampler(&self) -> Option<&aurora_trace::Sampler> {
+        self.sampler.as_ref()
+    }
+
+    /// Every subsystem gauge under this SLS, flattened to `name → value`
+    /// and sorted by name: the frame arena, the store and its device
+    /// stack, the kernel's quiesce accounting, the checkpoint pipeline's
+    /// latest stage timings, and external synchrony. Pure read.
+    pub fn stat_gauges(&self) -> Vec<(String, u64)> {
+        let fg = self.kernel.vm.frame_gauges();
+        let (sg, dq, dev_bytes) = {
+            let store = self.store.lock();
+            let sg = store.gauges();
+            let dev = store.device().lock();
+            (sg, dev.queue_stats(), dev.bytes_written())
+        };
+        let pending: u64 = self.groups.values().map(|g| g.sealed.len() as u64).sum();
+        let mut v: Vec<(String, u64)> = vec![
+            ("frames.resident".into(), fg.resident),
+            ("frames.shared".into(), fg.shared),
+            ("frames.copies_broken".into(), fg.copies_broken),
+            ("store.cache_pages".into(), sg.cache_pages),
+            ("store.cache_hits".into(), sg.cache_hits),
+            ("store.cache_misses".into(), sg.cache_misses),
+            ("store.epochs".into(), sg.epochs),
+            ("store.current_epoch".into(), sg.current_epoch),
+            ("store.floor".into(), sg.floor),
+            ("store.objects".into(), sg.objects),
+            ("dev.queue_depth".into(), dq.depth),
+            ("dev.bytes_in_flight".into(), dq.bytes_in_flight),
+            ("dev.bytes_written".into(), dev_bytes),
+            ("quiesce.windows".into(), self.kernel.quiesce_windows),
+            ("quiesce.last_width_ns".into(), self.kernel.last_quiesce_width_ns),
+            ("pipeline.checkpoints".into(), self.checkpoints_taken),
+            ("extsync.sealed_total".into(), self.extsync_sealed),
+            ("extsync.released_total".into(), self.extsync_released),
+            ("extsync.pending_batches".into(), pending),
+            ("trace.dropped_records".into(), self.trace.dropped_records()),
+        ];
+        if let Some(s) = &self.last_stats {
+            v.push(("pipeline.last_stop_ns".into(), s.stop_time_ns));
+            v.push(("pipeline.last_quiesce_ns".into(), s.quiesce_ns));
+            v.push(("pipeline.last_shadow_ns".into(), s.shadow_ns));
+            v.push(("pipeline.last_flush_ns".into(), s.flush_ns));
+            v.push(("pipeline.last_commit_ns".into(), s.commit_ns));
+            v.push(("pipeline.last_pages_flushed".into(), s.pages_flushed));
+        }
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Polls the installed sampler: records a gauge row if the sampling
+    /// period has elapsed. Returns whether a row was recorded. Safe (and
+    /// a no-op) without a sampler.
+    pub fn sample_metrics(&mut self) -> bool {
+        let Some(sampler) = self.sampler.clone() else {
+            return false;
+        };
+        let now = self.kernel.charge.clock().now();
+        if !sampler.due(now) {
+            return false;
+        }
+        let gauges = self.stat_gauges();
+        sampler.record(now, gauges)
     }
 
     /// Attaches a process tree to the SLS as a new consistency group
@@ -297,6 +390,7 @@ impl Sls {
             out.push(self.checkpoint_now(gid)?);
         }
         self.pump_external_synchrony();
+        self.sample_metrics();
         Ok(out)
     }
 
@@ -370,7 +464,13 @@ impl Sls {
             self.kernel.vm.set_trace(self.trace.clone());
             self.trace.instant("core", "machine.reboot", &[]);
         }
+        // The sampler survives the reboot too; the discontinuity is
+        // recorded as a mark, never smoothed into the gauge rows.
+        if let Some(s) = &self.sampler {
+            s.mark(self.kernel.charge.clock().now(), "machine.reboot");
+        }
         self.groups.clear();
+        self.last_stats = None;
         Ok(())
     }
 }

@@ -552,6 +552,7 @@ impl<'a> CheckpointPipeline<'a> {
                 durable_at: info.durable_at,
                 counts: sealed_counts,
             });
+            self.sls.extsync_sealed += 1;
         }
         Ok(info)
     }

@@ -60,6 +60,14 @@ impl World {
         trace
     }
 
+    /// Turns on the virtual-time metrics sampler (gauge rows at most
+    /// once per `period_ns`). Returns the series handle for exporters
+    /// ([`aurora_trace::Sampler::series_json`] /
+    /// [`prometheus_text`](aurora_trace::Sampler::prometheus_text)).
+    pub fn enable_sampling(&mut self, period_ns: u64) -> aurora_trace::Sampler {
+        self.sls.install_sampler(period_ns)
+    }
+
     /// Spawns a toy application: one process with a 16-page counter
     /// region at a known address. Returns its pid.
     pub fn spawn_counter_app(&mut self) -> Pid {

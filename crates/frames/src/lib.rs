@@ -32,8 +32,9 @@
 //!   *data* frame. Materializing the zero frame is not counted: writing
 //!   a fresh zero-fill page allocates, it does not duplicate data.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use aurora_trace::Trace;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Page size in bytes (x86-64 base pages, as in the paper's testbed).
 pub const PAGE_SIZE: usize = 4096;
@@ -57,6 +58,10 @@ struct Counters {
     resident: AtomicU64,
     shared: AtomicU64,
     copies_broken: AtomicU64,
+    /// Write-path trace, off by default. The flag keeps the untraced
+    /// fast path to one relaxed load (no mutex).
+    traced: AtomicBool,
+    trace: Mutex<Trace>,
 }
 
 #[derive(Debug)]
@@ -219,6 +224,8 @@ impl FrameArena {
     /// Breaking a *zero* frame allocates but is not a `copies_broken`
     /// event: no data existed to duplicate.
     pub fn make_mut<'a>(&self, page: &'a mut PageRef) -> &'a mut PageBytes {
+        let was_shared = Arc::strong_count(&page.inner) != 1;
+        let was_zero = page.inner.zero;
         if Arc::strong_count(&page.inner) != 1 {
             let from_zero = page.inner.zero;
             self.counters.resident.fetch_add(1, Ordering::Relaxed);
@@ -246,7 +253,34 @@ impl FrameArena {
                 }),
             };
         }
+        if self.counters.traced.load(Ordering::Relaxed) {
+            // `copied` reports whether the write landed in a fresh frame:
+            // every shared entry is cloned, and a zero frame is always
+            // materialized. The invariant checker flags `shared && !copied`
+            // — an in-place write mutating a frozen view.
+            let copied = was_shared || was_zero;
+            let trace = self.counters.trace.lock().unwrap().clone();
+            trace.instant(
+                "frames",
+                "frames.write",
+                &[
+                    ("shared", was_shared as u64),
+                    ("copied", copied as u64),
+                    ("zero", was_zero as u64),
+                ],
+            );
+        }
         &mut Arc::get_mut(&mut page.inner).expect("unique after COW break").data
+    }
+
+    /// Installs a trace recorder on the arena's shared counter block:
+    /// every clone of this arena starts emitting `frames.write` instants
+    /// from [`make_mut`](Self::make_mut). A disabled trace turns the
+    /// instrumentation back off.
+    pub fn set_trace(&self, trace: Trace) {
+        let enabled = trace.is_enabled();
+        *self.counters.trace.lock().unwrap() = trace;
+        self.counters.traced.store(enabled, Ordering::Relaxed);
     }
 
     /// Gauge snapshot.
@@ -367,6 +401,32 @@ mod tests {
         assert_eq!(arena.gauges().resident, 2, "materialized into the arena");
         assert_eq!(arena.gauges().copies_broken, 0);
         assert_eq!(PageRef::zero()[0], 0);
+    }
+
+    #[test]
+    fn traced_writes_emit_frames_write_instants() {
+        let arena = FrameArena::new();
+        let trace = Trace::recording(|| 0);
+        arena.set_trace(trace.clone());
+        // In-place write to a unique frame.
+        let mut a = arena.alloc([1u8; PAGE_SIZE]);
+        arena.make_mut(&mut a)[0] = 2;
+        // COW break of a shared frame.
+        let mut b = a.clone();
+        arena.make_mut(&mut b)[0] = 3;
+        // Zero materialization.
+        let mut z = arena.zero();
+        arena.make_mut(&mut z)[0] = 4;
+        let evs = trace.events();
+        let writes: Vec<_> = evs.iter().filter(|e| e.name == "frames.write").collect();
+        assert_eq!(writes.len(), 3);
+        assert_eq!(writes[0].args, vec![("shared", 0), ("copied", 0), ("zero", 0)]);
+        assert_eq!(writes[1].args, vec![("shared", 1), ("copied", 1), ("zero", 0)]);
+        assert_eq!(writes[2].args, vec![("shared", 1), ("copied", 1), ("zero", 1)]);
+        // Disabling stops emission.
+        arena.set_trace(Trace::disabled());
+        arena.make_mut(&mut a)[1] = 5;
+        assert_eq!(trace.events().len(), evs.len());
     }
 
     #[test]

@@ -31,6 +31,7 @@ use aurora_sim::rng::{DetRng, Rng};
 use aurora_sim::{Clock, CostModel};
 use aurora_storage::faulty::{FaultHandle, FaultPlan};
 use aurora_storage::{faulty_testbed_array, SharedDevice};
+use aurora_trace::{InvariantChecker, Trace};
 use std::collections::{BTreeSet, HashMap};
 
 /// One step of a crash-exploration workload.
@@ -123,6 +124,9 @@ struct Replay {
     jrecords: Vec<Vec<u8>>,
     /// How many of `jrecords` completed before the cut fired.
     jrecords_before_cut: usize,
+    /// Online invariant checker armed over the whole replay (epoch
+    /// monotonicity across the crash, extsync ordering, frame writes).
+    checker: InvariantChecker,
 }
 
 /// Runs `workload` over a faulty testbed armed with `plan`. The store is
@@ -132,7 +136,13 @@ struct Replay {
 fn replay(workload: &[WorkloadOp], plan: FaultPlan) -> Replay {
     let clock = Clock::new();
     let (dev, handle) = faulty_testbed_array(&clock, 1 << 26, FaultPlan::none());
-    let charge = Charge::new(clock, CostModel::default());
+    let trace = {
+        let c = clock.clone();
+        Trace::recording(move || c.now())
+    };
+    let checker = InvariantChecker::arm(&trace);
+    let mut charge = Charge::new(clock, CostModel::default());
+    charge.set_trace(trace);
     let mut store = ObjectStore::format(dev.clone(), charge, 2048).expect("format");
     let journal = store.alloc_oid();
     store.create_journal(journal, 64).expect("create journal");
@@ -209,6 +219,7 @@ fn replay(workload: &[WorkloadOp], plan: FaultPlan) -> Replay {
         barriered_before_cut,
         jrecords,
         jrecords_before_cut,
+        checker,
     }
 }
 
@@ -309,6 +320,7 @@ impl Explorer {
             barriered_before_cut,
             jrecords,
             jrecords_before_cut,
+            checker,
         } = run;
         let charge = store.charge().clone();
         let mut rec = store.crash_and_recover().unwrap_or_else(|e| {
@@ -427,6 +439,16 @@ impl Explorer {
                 );
             }
         }
+
+        // The online invariant checker watched the whole replay plus the
+        // recovery above (the charge's trace survives the crash): epoch
+        // commits stayed monotone, recovery replayed epochs in order, and
+        // no frame write mutated a shared frame in place.
+        assert!(
+            checker.checked() > 0,
+            "crash point {cut}: invariant checker saw no events"
+        );
+        checker.assert_clean();
 
         recovered.len() > 1
     }

@@ -31,4 +31,4 @@ pub mod store;
 pub use aurora_frames::{FrameArena, FrameGauges, PageRef};
 pub use explore::{Explorer, ScheduleReport, WorkloadOp};
 pub use journal::JournalStats;
-pub use store::{CommitInfo, ObjectKind, ObjectStore, Oid, StoreError, PAGE};
+pub use store::{CommitInfo, ObjectKind, ObjectStore, Oid, StoreError, StoreGauges, PAGE};

@@ -239,6 +239,29 @@ pub struct ObjectStore {
     /// known good for the frame. Invalidated per block when the allocator
     /// hands the block out again; a crash/reopen starts cold.
     page_cache: HashMap<u64, PageRef>,
+    /// Page-cache hit/miss counters since creation (observability only).
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+/// A point-in-time observability snapshot of the store, for the metrics
+/// sampler and `sls stat`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreGauges {
+    /// Blocks with a cached resident frame.
+    pub cache_pages: u64,
+    /// Page-cache hits since the store was created/opened.
+    pub cache_hits: u64,
+    /// Page-cache misses (device reads) since creation.
+    pub cache_misses: u64,
+    /// Committed epochs retained (history depth).
+    pub epochs: u64,
+    /// The in-progress epoch number.
+    pub current_epoch: u64,
+    /// Lowest retained epoch (history floor).
+    pub floor: u64,
+    /// Live (not deleted) objects.
+    pub objects: u64,
 }
 
 impl ObjectStore {
@@ -266,6 +289,8 @@ impl ObjectStore {
             next_oid: 1,
             arena: FrameArena::new(),
             page_cache: HashMap::new(),
+            cache_hits: 0,
+            cache_misses: 0,
         };
         store.write_superblock()?;
         Ok(store)
@@ -321,6 +346,8 @@ impl ObjectStore {
             next_oid: 1,
             arena: FrameArena::new(),
             page_cache: HashMap::new(),
+            cache_hits: 0,
+            cache_misses: 0,
         };
         store.replay()?;
         Ok(store)
@@ -328,6 +355,13 @@ impl ObjectStore {
 
     /// Replays the metadata log, stopping at the first invalid record.
     fn replay(&mut self) -> Result<()> {
+        // Announce the rewind before any replayed epoch: the invariant
+        // checker resets its monotonicity watermark on this event, since
+        // recovery legitimately revisits epoch numbers a crash destroyed.
+        let trace = self.charge.trace();
+        if trace.is_enabled() {
+            trace.instant("objstore", "recovery.begin", &[]);
+        }
         let mut head = self.meta_start;
         loop {
             if head >= self.data_start {
@@ -497,9 +531,11 @@ impl ObjectStore {
         &self.charge
     }
 
-    /// Installs a trace recorder on the store and its device stack.
+    /// Installs a trace recorder on the store, its frame arena (COW
+    /// write instrumentation), and its device stack.
     pub fn set_trace(&mut self, trace: aurora_trace::Trace) {
         self.charge.set_trace(trace.clone());
+        self.arena.set_trace(trace.clone());
         self.dev.lock().set_trace(trace);
     }
 
@@ -995,8 +1031,10 @@ impl ObjectStore {
             .find(|(e, _, _)| *e <= epoch)
             .ok_or(StoreError::NoSuchPage(oid, pindex))?;
         if let Some(p) = self.page_cache.get(&block) {
+            self.cache_hits += 1;
             return Ok(p.clone());
         }
+        self.cache_misses += 1;
         let data = {
             let mut dev = self.dev.lock();
             dev.read(block, 1).map_err(StoreError::dev("read-page", Some(oid), epoch))?
@@ -1036,8 +1074,14 @@ impl ObjectStore {
         let mut misses: Vec<(u64, u64, u64)> = Vec::with_capacity(located.len());
         for &(pi, block, csum) in &located {
             match self.page_cache.get(&block) {
-                Some(p) => out.push((pi, p.clone())),
-                None => misses.push((pi, block, csum)),
+                Some(p) => {
+                    self.cache_hits += 1;
+                    out.push((pi, p.clone()));
+                }
+                None => {
+                    self.cache_misses += 1;
+                    misses.push((pi, block, csum));
+                }
             }
         }
         // A restore issues its whole read plan at once (deep NVMe
@@ -1101,8 +1145,10 @@ impl ObjectStore {
             .find(|&&(e, _, _)| e <= last && (e <= floor || e >= resume))
             .ok_or(StoreError::NoSuchPage(oid, pindex))?;
         if let Some(p) = self.page_cache.get(&block) {
+            self.cache_hits += 1;
             return Ok(p.clone());
         }
+        self.cache_misses += 1;
         let data = {
             let mut dev = self.dev.lock();
             dev.read(block, 1).map_err(StoreError::dev("read-page-pinned", Some(oid), last))?
@@ -1117,6 +1163,20 @@ impl ObjectStore {
     /// branch resumes from.
     pub fn current_epoch(&self) -> u64 {
         self.cur_epoch
+    }
+
+    /// An observability snapshot for the metrics sampler. Pure read —
+    /// never touches the device or the clock.
+    pub fn gauges(&self) -> StoreGauges {
+        StoreGauges {
+            cache_pages: self.page_cache.len() as u64,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            epochs: self.epochs.len() as u64,
+            current_epoch: self.cur_epoch,
+            floor: self.floor,
+            objects: self.objects.values().filter(|o| o.deleted_epoch.is_none()).count() as u64,
+        }
     }
 
     /// Verifies the data checksum of every committed page version in the

@@ -13,9 +13,24 @@ use aurora_sim::cost::Charge;
 use aurora_sim::{Clock, CostModel};
 use aurora_storage::faulty::FaultPlan;
 use aurora_storage::faulty_testbed_array;
+use aurora_trace::{InvariantChecker, Trace};
 
 fn cap() -> Option<u64> {
     std::env::var("CRASH_SCHEDULE_CAP").ok().and_then(|v| v.parse().ok())
+}
+
+/// A charge with a recording trace and the online invariant checker
+/// armed over it — every manual-store test here runs with the checker
+/// watching epoch commits, recovery replay, and frame writes.
+fn traced_charge(clock: &Clock) -> (Charge, InvariantChecker) {
+    let trace = {
+        let c = clock.clone();
+        Trace::recording(move || c.now())
+    };
+    let checker = InvariantChecker::arm(&trace);
+    let mut charge = Charge::new(clock.clone(), CostModel::default());
+    charge.set_trace(trace);
+    (charge, checker)
 }
 
 #[test]
@@ -60,7 +75,7 @@ fn a_second_seed_also_survives() {
 fn transient_error_during_journal_append_is_retryable() {
     let clock = Clock::new();
     let (dev, handle) = faulty_testbed_array(&clock, 1 << 26, FaultPlan::none());
-    let charge = Charge::new(clock, CostModel::default());
+    let (charge, checker) = traced_charge(&clock);
     let mut store = ObjectStore::format(dev, charge, 1024).unwrap();
     let j = store.alloc_oid();
     store.create_journal(j, 64).unwrap();
@@ -89,6 +104,8 @@ fn transient_error_during_journal_append_is_retryable() {
         vec![b"first".to_vec(), b"second".to_vec()],
         "retried append must land exactly once"
     );
+    assert!(checker.checked() > 0);
+    checker.assert_clean();
 }
 
 /// A transient error during a page write leaks no blocks and the retried
@@ -97,7 +114,7 @@ fn transient_error_during_journal_append_is_retryable() {
 fn transient_error_during_page_write_is_retryable() {
     let clock = Clock::new();
     let (dev, handle) = faulty_testbed_array(&clock, 1 << 26, FaultPlan::none());
-    let charge = Charge::new(clock, CostModel::default());
+    let (charge, checker) = traced_charge(&clock);
     let mut store = ObjectStore::format(dev, charge, 1024).unwrap();
     let oid = store.alloc_oid();
     store.create_object(oid, ObjectKind::Memory).unwrap();
@@ -113,6 +130,7 @@ fn transient_error_during_page_write_is_retryable() {
     store.barrier(c);
     let mut rec = store.crash_and_recover().unwrap();
     assert_eq!(*rec.read_page(oid, 0, c.epoch).unwrap(), [7u8; PAGE]);
+    checker.assert_clean();
 }
 
 /// A transient error during commit leaves the log retryable: the second
@@ -121,7 +139,7 @@ fn transient_error_during_page_write_is_retryable() {
 fn transient_error_during_commit_is_retryable() {
     let clock = Clock::new();
     let (dev, handle) = faulty_testbed_array(&clock, 1 << 26, FaultPlan::none());
-    let charge = Charge::new(clock, CostModel::default());
+    let (charge, checker) = traced_charge(&clock);
     let mut store = ObjectStore::format(dev, charge, 1024).unwrap();
     let oid = store.alloc_oid();
     store.create_object(oid, ObjectKind::Memory).unwrap();
@@ -139,6 +157,7 @@ fn transient_error_during_commit_is_retryable() {
     let mut rec = store.crash_and_recover().unwrap();
     assert_eq!(rec.epochs(), &[c.epoch], "exactly one committed epoch");
     assert_eq!(*rec.read_page(oid, 0, c.epoch).unwrap(), [3u8; PAGE]);
+    checker.assert_clean();
 }
 
 /// Silent bit-flips never panic recovery: metadata corruption is caught
@@ -152,7 +171,7 @@ fn bitflips_degrade_gracefully() {
         let clock = Clock::new();
         let plan = FaultPlan { bitflip_per_write: 0.05, seed, ..FaultPlan::none() };
         let (dev, _handle) = faulty_testbed_array(&clock, 1 << 26, plan);
-        let charge = Charge::new(clock, CostModel::default());
+        let (charge, checker) = traced_charge(&clock);
         let mut store = ObjectStore::format(dev, charge, 1024).unwrap();
         let oid = store.alloc_oid();
         store.create_object(oid, ObjectKind::Memory).unwrap();
@@ -183,6 +202,9 @@ fn bitflips_degrade_gracefully() {
         // Idempotence still holds.
         let again = ObjectStore::open(rec.device().clone(), rec.charge().clone()).unwrap();
         assert_eq!(again.epochs(), rec.epochs());
+        // Even with bit-flips on the medium, the *ordering* invariants
+        // hold: corruption loses history, it never reorders it.
+        checker.assert_clean();
     }
 }
 
@@ -193,7 +215,7 @@ fn bitflips_degrade_gracefully() {
 fn bitflip_on_data_page_is_detected_at_read() {
     let clock = Clock::new();
     let (dev, handle) = faulty_testbed_array(&clock, 1 << 26, FaultPlan::none());
-    let charge = Charge::new(clock, CostModel::default());
+    let (charge, checker) = traced_charge(&clock);
     let mut store = ObjectStore::format(dev, charge, 1024).unwrap();
     let oid = store.alloc_oid();
     store.create_object(oid, ObjectKind::Memory).unwrap();
@@ -225,6 +247,7 @@ fn bitflip_on_data_page_is_detected_at_read() {
     // reopen because the checksum rides in the commit record.
     let mut rec = store.crash_and_recover().unwrap();
     assert!(rec.read_page(oid, 0, c.epoch).is_err(), "corruption detected across recovery");
+    checker.assert_clean();
 }
 
 /// Clean writes scrub clean, including across a crash/recover cycle.
@@ -232,7 +255,7 @@ fn bitflip_on_data_page_is_detected_at_read() {
 fn scrub_passes_on_clean_history() {
     let clock = Clock::new();
     let (dev, _handle) = faulty_testbed_array(&clock, 1 << 26, FaultPlan::none());
-    let charge = Charge::new(clock, CostModel::default());
+    let (charge, checker) = traced_charge(&clock);
     let mut store = ObjectStore::format(dev, charge, 1024).unwrap();
     let oid = store.alloc_oid();
     store.create_object(oid, ObjectKind::Memory).unwrap();
@@ -244,4 +267,6 @@ fn scrub_passes_on_clean_history() {
     assert_eq!(store.scrub().unwrap(), 6);
     let mut rec = store.crash_and_recover().unwrap();
     assert_eq!(rec.scrub().unwrap(), 6, "checksums survive the commit record round-trip");
+    assert!(checker.checked() > 0);
+    checker.assert_clean();
 }

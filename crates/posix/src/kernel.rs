@@ -69,6 +69,10 @@ pub struct Kernel {
     next_socket: u64,
     next_kqueue: u64,
     next_pty: u64,
+    /// Stop-the-world windows opened since boot (observability).
+    pub quiesce_windows: u64,
+    /// Width of the most recent quiesce window, virtual ns.
+    pub last_quiesce_width_ns: u64,
 }
 
 impl Kernel {
@@ -100,6 +104,8 @@ impl Kernel {
             next_socket: 1,
             next_kqueue: 1,
             next_pty: 0,
+            quiesce_windows: 0,
+            last_quiesce_width_ns: 0,
         }
     }
 

@@ -28,6 +28,9 @@ impl Kernel {
     /// IPI and drain costs to the clock.
     pub fn quiesce(&mut self, pids: &[Pid]) -> Result<QuiesceReport> {
         let trace = self.charge.trace().clone();
+        // Window width is measured off the virtual clock directly so the
+        // gauges exist (and agree) whether or not tracing is armed.
+        let clock_start = self.charge.clock().now();
         let start = if trace.is_enabled() { trace.now() } else { 0 };
         let mut report = QuiesceReport::default();
         let mut tids = Vec::new();
@@ -74,6 +77,8 @@ impl Kernel {
             );
             trace.hist("posix.quiesce_ns", dur);
         }
+        self.quiesce_windows += 1;
+        self.last_quiesce_width_ns = self.charge.clock().now() - clock_start;
         Ok(report)
     }
 
@@ -105,6 +110,8 @@ mod tests {
         k.add_thread(p).unwrap();
         let r = k.quiesce(&[p]).unwrap();
         assert_eq!(r.threads, 3);
+        assert_eq!(k.quiesce_windows, 1);
+        assert!(k.last_quiesce_width_ns > 0, "IPI+drain costs make the window nonzero");
         for tid in &k.proc(p).unwrap().threads.clone() {
             assert_eq!(k.threads[tid].state, ThreadState::Stopped);
         }

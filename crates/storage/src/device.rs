@@ -144,6 +144,33 @@ pub trait BlockDevice {
     fn set_trace(&mut self, trace: aurora_trace::Trace) {
         let _ = trace;
     }
+
+    /// Observability snapshot of the device queue at the current virtual
+    /// time. Wrapping layers aggregate their members; the default claims
+    /// an empty queue so simple test doubles need not care.
+    fn queue_stats(&self) -> QueueStats {
+        QueueStats::default()
+    }
+}
+
+/// A point-in-time view of a device's write queue (writes buffered but
+/// not yet durable), for the metrics sampler and `sls stat`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Writes queued and not yet durable.
+    pub depth: u64,
+    /// Bytes those writes cover.
+    pub bytes_in_flight: u64,
+}
+
+impl QueueStats {
+    /// Sums two snapshots (striping aggregation).
+    pub fn merge(self, other: QueueStats) -> QueueStats {
+        QueueStats {
+            depth: self.depth + other.depth,
+            bytes_in_flight: self.bytes_in_flight + other.bytes_in_flight,
+        }
+    }
 }
 
 /// A shareable, lockable device handle.

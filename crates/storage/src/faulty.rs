@@ -337,6 +337,10 @@ impl BlockDevice for FaultyDevice {
         self.trace = trace.clone();
         self.inner.set_trace(trace);
     }
+
+    fn queue_stats(&self) -> crate::device::QueueStats {
+        self.inner.queue_stats()
+    }
 }
 
 #[cfg(test)]

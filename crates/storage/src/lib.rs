@@ -17,7 +17,7 @@ pub mod faulty;
 pub mod nvme;
 pub mod raid;
 
-pub use device::{share, BlockDevice, Completion, DeviceError, SharedDevice};
+pub use device::{share, BlockDevice, Completion, DeviceError, QueueStats, SharedDevice};
 pub use faulty::{FaultHandle, FaultPlan, FaultyDevice, WriteOutcome, WriteRecord};
 pub use nvme::{NvmeDevice, NvmeParams};
 pub use raid::Raid0;

@@ -1,7 +1,7 @@
 //! An in-memory NVMe device with an Optane-like performance model and
 //! honest crash semantics.
 
-use crate::device::{BlockDevice, Completion, DeviceError, Result};
+use crate::device::{BlockDevice, Completion, DeviceError, QueueStats, Result};
 use aurora_sim::Clock;
 use aurora_trace::Trace;
 use std::collections::HashMap;
@@ -254,6 +254,14 @@ impl BlockDevice for NvmeDevice {
     fn set_trace(&mut self, trace: Trace) {
         self.trace = trace;
     }
+
+    fn queue_stats(&self) -> QueueStats {
+        // Buffered blocks whose completion is still in the future are the
+        // in-flight queue; already-completed ones are just unsettled.
+        let now = self.clock.now();
+        let depth = self.buffered.values().filter(|(t, _)| *t > now).count() as u64;
+        QueueStats { depth, bytes_in_flight: depth * BLOCK_SIZE as u64 }
+    }
 }
 
 #[cfg(test)]
@@ -334,6 +342,18 @@ mod tests {
     fn misaligned_write_rejected() {
         let mut d = dev();
         assert!(matches!(d.write(0, &[0u8; 100]), Err(DeviceError::Misaligned { .. })));
+    }
+
+    #[test]
+    fn queue_stats_track_inflight_writes() {
+        let mut d = dev();
+        assert_eq!(d.queue_stats(), QueueStats::default());
+        let c = d.write(0, &vec![1u8; BLOCK_SIZE * 2]).unwrap();
+        let q = d.queue_stats();
+        assert_eq!(q.depth, 2);
+        assert_eq!(q.bytes_in_flight, 2 * BLOCK_SIZE as u64);
+        d.clock().advance_to(c.done_at);
+        assert_eq!(d.queue_stats().depth, 0, "durable writes leave the queue");
     }
 
     #[test]

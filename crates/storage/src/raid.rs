@@ -172,6 +172,12 @@ impl BlockDevice for Raid0 {
             d.set_trace(trace.clone());
         }
     }
+
+    fn queue_stats(&self) -> crate::device::QueueStats {
+        self.devices
+            .iter()
+            .fold(crate::device::QueueStats::default(), |acc, d| acc.merge(d.queue_stats()))
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +229,18 @@ mod tests {
         for lba in 0..4096u64 {
             assert!(seen.insert(a.map(lba)), "duplicate mapping for {lba}");
         }
+    }
+
+    #[test]
+    fn queue_stats_aggregate_members() {
+        let mut a = array(4);
+        // 256 KiB spans every member: each gets 16 in-flight blocks.
+        a.write(0, &vec![0u8; 256 * 1024]).unwrap();
+        let q = a.queue_stats();
+        assert_eq!(q.depth, 64);
+        assert_eq!(q.bytes_in_flight, 256 * 1024);
+        a.flush();
+        assert_eq!(a.queue_stats().depth, 0);
     }
 
     #[test]

@@ -1,0 +1,317 @@
+//! The online invariant checker: cross-layer assertions expressed as
+//! probes over the live event stream.
+//!
+//! Arming a checker on a recording [`Trace`](crate::Trace) registers one
+//! probe per invariant; every test, benchmark, and crash schedule that
+//! runs with the checker armed becomes a cross-layer assertion run at no
+//! virtual-time cost. The invariants:
+//!
+//! 1. **Epoch monotonicity** — `epoch.commit` (and `recovery.replay`)
+//!    epochs strictly increase; a `recovery.begin` resets the watermark,
+//!    because recovery legitimately rewinds to the last durable epoch
+//!    and reuses the numbers a crash destroyed.
+//! 2. **External synchrony: seal before release, release after
+//!    durability** — every `extsync.release` names an epoch that was
+//!    previously sealed (`extsync.seal`), and fires no earlier than the
+//!    batch's recorded durability horizon.
+//! 3. **Quiesce-window mutual exclusion** — `posix.quiesce` windows
+//!    never overlap: the kernel must not stop a group while another
+//!    stop-the-world window is still open.
+//! 4. **Frozen-frame immutability** — every `frames.write` that hits a
+//!    shared (refcount ≥ 2, i.e. frozen-by-someone) frame reports a COW
+//!    copy; an in-place write to a shared frame would mutate a frozen
+//!    checkpoint's view of memory.
+//!
+//! Violations are collected, not panicked, so a harness can run to
+//! completion and report every failure; [`InvariantChecker::assert_clean`]
+//! is the test-facing panic.
+
+use crate::probe::{ProbeId, ProbeSpec};
+use crate::{Trace, TraceEvent};
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
+
+#[derive(Default)]
+struct State {
+    checked: u64,
+    violations: Vec<String>,
+    last_epoch: Option<u64>,
+    sealed: BTreeSet<u64>,
+    quiesce_end: u64,
+}
+
+/// A live invariant checker. Cloning shares the collected state.
+#[derive(Clone, Default)]
+pub struct InvariantChecker {
+    state: Arc<Mutex<State>>,
+    ids: Vec<ProbeId>,
+}
+
+fn arg(ev: &TraceEvent, key: &str) -> Option<u64> {
+    ev.args.iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
+}
+
+impl InvariantChecker {
+    /// Arms every invariant on `trace`. On a disabled trace this is a
+    /// no-op checker that trivially stays clean.
+    pub fn arm(trace: &Trace) -> Self {
+        let state = Arc::new(Mutex::new(State::default()));
+        let mut ids = Vec::new();
+
+        // 1. Epoch monotonicity (+ recovery resets).
+        let s = state.clone();
+        ids.push(trace.probe(ProbeSpec::any().cat("objstore").name_prefix("epoch.commit"), {
+            move |ev| {
+                let mut st = s.lock().unwrap();
+                st.checked += 1;
+                let epoch = arg(ev, "epoch").unwrap_or(0);
+                if let Some(last) = st.last_epoch {
+                    if epoch <= last {
+                        st.violations.push(format!(
+                            "epoch monotonicity: commit of epoch {epoch} at t={} after epoch {last}",
+                            ev.ts
+                        ));
+                    }
+                }
+                st.last_epoch = Some(epoch);
+            }
+        }));
+        let s = state.clone();
+        ids.push(trace.probe(ProbeSpec::any().cat("objstore").name_prefix("recovery."), {
+            move |ev| {
+                let mut st = s.lock().unwrap();
+                st.checked += 1;
+                if ev.name.as_ref() == "recovery.begin" {
+                    // A crash rewinds the epoch space; restart the watch.
+                    st.last_epoch = None;
+                } else if ev.name.as_ref() == "recovery.replay" {
+                    let epoch = arg(ev, "epoch").unwrap_or(0);
+                    if let Some(last) = st.last_epoch {
+                        if epoch <= last {
+                            st.violations.push(format!(
+                                "epoch monotonicity: recovery replayed epoch {epoch} after {last}"
+                            ));
+                        }
+                    }
+                    st.last_epoch = Some(epoch);
+                }
+            }
+        }));
+
+        // 2. External synchrony ordering.
+        let s = state.clone();
+        ids.push(trace.probe(ProbeSpec::any().name_prefix("extsync."), {
+            move |ev| {
+                let mut st = s.lock().unwrap();
+                st.checked += 1;
+                let epoch = arg(ev, "epoch").unwrap_or(0);
+                match ev.name.as_ref() {
+                    "extsync.seal" => {
+                        st.sealed.insert(epoch);
+                    }
+                    "extsync.release" => {
+                        if !st.sealed.contains(&epoch) {
+                            st.violations.push(format!(
+                                "extsync ordering: release of epoch {epoch} at t={} never sealed",
+                                ev.ts
+                            ));
+                        }
+                        if let Some(durable_at) = arg(ev, "durable_at") {
+                            if ev.ts < durable_at {
+                                st.violations.push(format!(
+                                    "extsync durability: epoch {epoch} released at t={} before \
+                                     durable_at={durable_at}",
+                                    ev.ts
+                                ));
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }));
+
+        // 3. Quiesce-window mutual exclusion.
+        let s = state.clone();
+        ids.push(trace.probe(
+            ProbeSpec::any().cat("posix").name_prefix("posix.quiesce").phase(crate::Phase::Complete),
+            {
+                move |ev| {
+                    let mut st = s.lock().unwrap();
+                    st.checked += 1;
+                    if ev.ts < st.quiesce_end {
+                        let msg = format!(
+                            "quiesce exclusion: window [{}, {}) overlaps one ending at {}",
+                            ev.ts,
+                            ev.ts + ev.dur,
+                            st.quiesce_end
+                        );
+                        st.violations.push(msg);
+                    }
+                    st.quiesce_end = st.quiesce_end.max(ev.ts + ev.dur);
+                }
+            },
+        ));
+
+        // 4. Frozen-frame immutability.
+        let s = state.clone();
+        ids.push(trace.probe(ProbeSpec::any().cat("frames").name_prefix("frames.write"), {
+            move |ev| {
+                let mut st = s.lock().unwrap();
+                st.checked += 1;
+                let shared = arg(ev, "shared").unwrap_or(0);
+                let copied = arg(ev, "copied").unwrap_or(0);
+                if shared == 1 && copied == 0 {
+                    st.violations.push(format!(
+                        "frozen-frame immutability: in-place write to a shared frame at t={}",
+                        ev.ts
+                    ));
+                }
+            }
+        }));
+
+        Self { state, ids }
+    }
+
+    /// Removes the checker's probes from `trace` (state is retained).
+    pub fn disarm(&self, trace: &Trace) {
+        for &id in &self.ids {
+            trace.unprobe(id);
+        }
+    }
+
+    /// Events the checker has examined.
+    pub fn checked(&self) -> u64 {
+        self.state.lock().unwrap().checked
+    }
+
+    /// The violations collected so far.
+    pub fn violations(&self) -> Vec<String> {
+        self.state.lock().unwrap().violations.clone()
+    }
+
+    /// True when no invariant has been violated.
+    pub fn is_clean(&self) -> bool {
+        self.state.lock().unwrap().violations.is_empty()
+    }
+
+    /// Panics with every collected violation (test assertion).
+    pub fn assert_clean(&self) {
+        let st = self.state.lock().unwrap();
+        assert!(
+            st.violations.is_empty(),
+            "invariant checker found {} violation(s) over {} events:\n  {}",
+            st.violations.len(),
+            st.checked,
+            st.violations.join("\n  ")
+        );
+    }
+}
+
+impl std::fmt::Debug for InvariantChecker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock().unwrap();
+        write!(f, "InvariantChecker({} checked, {} violations)", st.checked, st.violations.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn clocked() -> (Arc<AtomicU64>, Trace) {
+        let t = Arc::new(AtomicU64::new(0));
+        let t2 = t.clone();
+        (t, Trace::recording(move || t2.load(Ordering::Relaxed)))
+    }
+
+    #[test]
+    fn monotone_epochs_are_clean_and_regressions_caught() {
+        let (_, t) = clocked();
+        let c = InvariantChecker::arm(&t);
+        t.instant("objstore", "epoch.commit", &[("epoch", 1)]);
+        t.instant("objstore", "epoch.commit", &[("epoch", 2)]);
+        assert!(c.is_clean());
+        t.instant("objstore", "epoch.commit", &[("epoch", 2)]);
+        assert!(!c.is_clean());
+        assert!(c.violations()[0].contains("epoch monotonicity"));
+    }
+
+    #[test]
+    fn recovery_resets_the_epoch_watermark() {
+        let (_, t) = clocked();
+        let c = InvariantChecker::arm(&t);
+        t.instant("objstore", "epoch.commit", &[("epoch", 5)]);
+        t.instant("objstore", "recovery.begin", &[]);
+        t.instant("objstore", "recovery.replay", &[("epoch", 3)]);
+        t.instant("objstore", "epoch.commit", &[("epoch", 4)]);
+        assert!(c.is_clean(), "{:?}", c.violations());
+        // But replays themselves must ascend.
+        t.instant("objstore", "recovery.begin", &[]);
+        t.instant("objstore", "recovery.replay", &[("epoch", 3)]);
+        t.instant("objstore", "recovery.replay", &[("epoch", 2)]);
+        assert!(!c.is_clean());
+    }
+
+    #[test]
+    fn release_requires_prior_seal_and_durability() {
+        let (clock, t) = clocked();
+        let c = InvariantChecker::arm(&t);
+        clock.store(100, Ordering::Relaxed);
+        t.instant("extsync", "extsync.seal", &[("epoch", 1), ("durable_at", 150)]);
+        clock.store(200, Ordering::Relaxed);
+        t.instant("extsync", "extsync.release", &[("epoch", 1), ("durable_at", 150)]);
+        assert!(c.is_clean(), "{:?}", c.violations());
+        t.instant("extsync", "extsync.release", &[("epoch", 9), ("durable_at", 0)]);
+        assert!(!c.is_clean());
+        let (_, t2) = clocked();
+        let c2 = InvariantChecker::arm(&t2);
+        t2.instant("extsync", "extsync.seal", &[("epoch", 1), ("durable_at", 500)]);
+        t2.instant("extsync", "extsync.release", &[("epoch", 1), ("durable_at", 500)]);
+        assert!(!c2.is_clean(), "released at t=0 before durable_at=500");
+    }
+
+    #[test]
+    fn overlapping_quiesce_windows_are_violations() {
+        let (_, t) = clocked();
+        let c = InvariantChecker::arm(&t);
+        t.complete("posix", "posix.quiesce", 100, 50, &[]);
+        t.complete("posix", "posix.quiesce", 150, 50, &[]);
+        assert!(c.is_clean(), "{:?}", c.violations());
+        t.complete("posix", "posix.quiesce", 180, 10, &[]);
+        assert!(!c.is_clean());
+    }
+
+    #[test]
+    fn inplace_write_to_shared_frame_is_a_violation() {
+        let (_, t) = clocked();
+        let c = InvariantChecker::arm(&t);
+        t.instant("frames", "frames.write", &[("shared", 0), ("copied", 0), ("zero", 0)]);
+        t.instant("frames", "frames.write", &[("shared", 1), ("copied", 1), ("zero", 0)]);
+        assert!(c.is_clean());
+        t.instant("frames", "frames.write", &[("shared", 1), ("copied", 0), ("zero", 0)]);
+        assert!(!c.is_clean());
+        assert_eq!(c.checked(), 3);
+    }
+
+    #[test]
+    fn disarm_stops_checking() {
+        let (_, t) = clocked();
+        let c = InvariantChecker::arm(&t);
+        t.instant("objstore", "epoch.commit", &[("epoch", 1)]);
+        c.disarm(&t);
+        t.instant("objstore", "epoch.commit", &[("epoch", 1)]);
+        assert!(c.is_clean(), "violation after disarm must not be seen");
+        assert_eq!(c.checked(), 1);
+    }
+
+    #[test]
+    fn checker_on_disabled_trace_is_inert() {
+        let t = Trace::disabled();
+        let c = InvariantChecker::arm(&t);
+        t.instant("objstore", "epoch.commit", &[("epoch", 1)]);
+        assert!(c.is_clean());
+        assert_eq!(c.checked(), 0);
+    }
+}

@@ -23,11 +23,27 @@
 //! that can charge virtual time can also trace.
 
 pub mod chrome;
+pub mod invariant;
 pub mod json;
+pub mod probe;
+pub mod sampler;
 
+pub use invariant::InvariantChecker;
+pub use probe::{ProbeId, ProbeSpec};
+pub use sampler::{Sample, Sampler};
+
+use probe::ProbeSet;
 use std::borrow::Cow;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Default event-ring capacity: generous enough that no current test or
+/// bench run evicts, small enough to bound a pathological run's memory.
+pub const DEFAULT_TRACE_CAP: usize = 1 << 20;
+
+/// Environment override for the event-ring capacity.
+pub const TRACE_CAP_ENV: &str = "AURORA_TRACE_CAP";
 
 /// Event kinds, mirroring the Chrome trace-event phases we emit.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -102,6 +118,18 @@ impl Histogram {
         self.sum.checked_div(self.count).unwrap_or(0)
     }
 
+    /// Folds `other` into `self`, as if every sample recorded into
+    /// `other` had been recorded here.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
     /// Upper bound of the bucket holding the `p`-th percentile
     /// (`p` in 0..=100). A coarse estimate — within 2× of the true value
     /// — which is enough for trend tracking.
@@ -123,8 +151,12 @@ impl Histogram {
 
 struct Inner {
     now: Box<dyn Fn() -> u64 + Send + Sync>,
-    events: Mutex<Vec<TraceEvent>>,
+    /// Bounded ring: oldest records are evicted once `cap` is reached.
+    events: Mutex<VecDeque<TraceEvent>>,
+    cap: usize,
+    dropped: AtomicU64,
     hists: Mutex<BTreeMap<String, Histogram>>,
+    probes: ProbeSet,
 }
 
 /// A cloneable subscriber handle. All clones share one event buffer.
@@ -153,12 +185,28 @@ impl Trace {
     }
 
     /// A recording handle stamping events with `now` (the virtual clock).
+    /// The event ring holds [`DEFAULT_TRACE_CAP`] records unless the
+    /// `AURORA_TRACE_CAP` environment variable overrides it.
     pub fn recording(now: impl Fn() -> u64 + Send + Sync + 'static) -> Self {
+        let cap = std::env::var(TRACE_CAP_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(DEFAULT_TRACE_CAP);
+        Self::recording_with_cap(now, cap)
+    }
+
+    /// A recording handle with an explicit event-ring capacity (clamped
+    /// to ≥ 1). Probes and histograms are unaffected by the cap: probes
+    /// run before eviction, histograms aggregate in place.
+    pub fn recording_with_cap(now: impl Fn() -> u64 + Send + Sync + 'static, cap: usize) -> Self {
         Self {
             inner: Some(Arc::new(Inner {
                 now: Box::new(now),
-                events: Mutex::new(Vec::new()),
+                events: Mutex::new(VecDeque::new()),
+                cap: cap.max(1),
+                dropped: AtomicU64::new(0),
                 hists: Mutex::new(BTreeMap::new()),
+                probes: ProbeSet::default(),
             })),
         }
     }
@@ -173,9 +221,18 @@ impl Trace {
         self.inner.as_ref().map(|i| (i.now)()).unwrap_or(0)
     }
 
+    /// The single recording path: probes observe the record first (so
+    /// they see every record regardless of ring capacity), then it
+    /// enters the ring, evicting the oldest record when full.
     fn push(&self, ev: TraceEvent) {
         if let Some(i) = &self.inner {
-            i.events.lock().unwrap().push(ev);
+            i.probes.dispatch(&ev);
+            let mut events = i.events.lock().unwrap();
+            if events.len() >= i.cap {
+                events.pop_front();
+                i.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            events.push_back(ev);
         }
     }
 
@@ -186,9 +243,9 @@ impl Trace {
         name: impl Into<Cow<'static, str>>,
         args: &[(&'static str, u64)],
     ) {
-        if let Some(i) = &self.inner {
-            let ts = (i.now)();
-            i.events.lock().unwrap().push(TraceEvent {
+        if self.inner.is_some() {
+            let ts = self.now();
+            self.push(TraceEvent {
                 ts,
                 dur: 0,
                 ph: Phase::Instant,
@@ -201,9 +258,9 @@ impl Trace {
 
     /// Records a counter sample stamped now.
     pub fn counter(&self, cat: &'static str, name: impl Into<Cow<'static, str>>, value: u64) {
-        if let Some(i) = &self.inner {
-            let ts = (i.now)();
-            i.events.lock().unwrap().push(TraceEvent {
+        if self.inner.is_some() {
+            let ts = self.now();
+            self.push(TraceEvent {
                 ts,
                 dur: 0,
                 ph: Phase::Counter,
@@ -261,17 +318,56 @@ impl Trace {
         }
     }
 
-    /// A snapshot of the recorded events, in issue order.
+    /// A snapshot of the retained events, in issue order (oldest records
+    /// may have been evicted by the ring — see [`Trace::dropped_records`]).
     pub fn events(&self) -> Vec<TraceEvent> {
         self.inner
             .as_ref()
-            .map(|i| i.events.lock().unwrap().clone())
+            .map(|i| i.events.lock().unwrap().iter().cloned().collect())
             .unwrap_or_default()
     }
 
-    /// Number of events recorded so far.
+    /// Number of events currently retained.
     pub fn event_count(&self) -> usize {
         self.inner.as_ref().map(|i| i.events.lock().unwrap().len()).unwrap_or(0)
+    }
+
+    /// The event ring's capacity (0 when disabled).
+    pub fn capacity(&self) -> usize {
+        self.inner.as_ref().map(|i| i.cap).unwrap_or(0)
+    }
+
+    /// Records evicted from the ring since recording began.
+    pub fn dropped_records(&self) -> u64 {
+        self.inner.as_ref().map(|i| i.dropped.load(Ordering::Relaxed)).unwrap_or(0)
+    }
+
+    /// Registers a probe: `f` runs synchronously for every subsequent
+    /// record matching `spec`, before the ring can evict it. Returns the
+    /// null id ([`ProbeId`]`(0)`) on a disabled trace.
+    pub fn probe(
+        &self,
+        spec: ProbeSpec,
+        f: impl Fn(&TraceEvent) + Send + Sync + 'static,
+    ) -> ProbeId {
+        self.inner.as_ref().map(|i| i.probes.add(spec, f)).unwrap_or(ProbeId(0))
+    }
+
+    /// Removes a probe (no-op for unknown or null ids).
+    pub fn unprobe(&self, id: ProbeId) {
+        if let Some(i) = &self.inner {
+            i.probes.remove(id);
+        }
+    }
+
+    /// How many records a probe has matched (0 after removal).
+    pub fn probe_hits(&self, id: ProbeId) -> u64 {
+        self.inner.as_ref().map(|i| i.probes.hits(id)).unwrap_or(0)
+    }
+
+    /// Number of registered probes.
+    pub fn probe_count(&self) -> usize {
+        self.inner.as_ref().map(|i| i.probes.len()).unwrap_or(0)
     }
 
     /// A snapshot of the aggregated histograms, sorted by name.
@@ -282,11 +378,13 @@ impl Trace {
             .unwrap_or_default()
     }
 
-    /// Drops all recorded events and histograms (keeps the handle live).
+    /// Drops all recorded events and histograms and zeroes the dropped
+    /// counter (keeps the handle — and its probes — live).
     pub fn clear(&self) {
         if let Some(i) = &self.inner {
             i.events.lock().unwrap().clear();
             i.hists.lock().unwrap().clear();
+            i.dropped.store(0, Ordering::Relaxed);
         }
     }
 
@@ -416,6 +514,87 @@ mod tests {
         let empty = Histogram::default();
         assert_eq!(empty.percentile(99), 0);
         assert_eq!(empty.mean(), 0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let (clock, _) = clocked();
+        let t2 = clock.clone();
+        let t = Trace::recording_with_cap(move || t2.load(Ordering::Relaxed), 3);
+        for i in 0..5u64 {
+            t.instant("a", "e", &[("i", i)]);
+        }
+        assert_eq!(t.event_count(), 3);
+        assert_eq!(t.dropped_records(), 2);
+        assert_eq!(t.capacity(), 3);
+        let evs = t.events();
+        assert_eq!(evs[0].args, vec![("i", 2)], "oldest two evicted");
+        assert_eq!(evs[2].args, vec![("i", 4)]);
+        t.clear();
+        assert_eq!(t.dropped_records(), 0);
+    }
+
+    #[test]
+    fn probes_see_records_the_ring_evicts() {
+        let seen = Arc::new(AtomicU64::new(0));
+        let s2 = seen.clone();
+        let t = Trace::recording_with_cap(|| 0, 2);
+        let id = t.probe(ProbeSpec::any().name_prefix("e"), move |_| {
+            s2.fetch_add(1, Ordering::Relaxed);
+        });
+        for _ in 0..10 {
+            t.instant("a", "e", &[]);
+        }
+        assert_eq!(t.event_count(), 2, "ring bounded");
+        assert_eq!(seen.load(Ordering::Relaxed), 10, "probe saw every record");
+        assert_eq!(t.probe_hits(id), 10);
+        assert_eq!(t.probe_count(), 1);
+        t.unprobe(id);
+        assert_eq!(t.probe_count(), 0);
+    }
+
+    #[test]
+    fn probe_callback_may_emit_records() {
+        let (_, t) = clocked();
+        let t2 = t.clone();
+        t.probe(ProbeSpec::any().name_prefix("outer"), move |_| {
+            t2.instant("probe", "inner", &[]);
+        });
+        t.instant("a", "outer", &[]);
+        let names: Vec<_> = t.events().iter().map(|e| e.name.to_string()).collect();
+        assert_eq!(names, vec!["inner", "outer"], "re-entrant emission must not deadlock");
+    }
+
+    #[test]
+    fn disabled_trace_probe_api_is_inert() {
+        let t = Trace::disabled();
+        let id = t.probe(ProbeSpec::any(), |_| panic!("must never run"));
+        assert_eq!(id, ProbeId(0));
+        t.instant("a", "e", &[]);
+        assert_eq!(t.probe_hits(id), 0);
+        assert_eq!(t.probe_count(), 0);
+        assert_eq!(t.dropped_records(), 0);
+        t.unprobe(id);
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_recording() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut combined = Histogram::default();
+        for v in [1u64, 5, 9, 200] {
+            a.record(v);
+            combined.record(v);
+        }
+        for v in [3u64, 7_000, 0] {
+            b.record(v);
+            combined.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, combined);
+        let mut empty = Histogram::default();
+        empty.merge(&Histogram::default());
+        assert_eq!(empty, Histogram::default(), "merging empties stays empty");
     }
 
     #[test]
