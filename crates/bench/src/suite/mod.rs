@@ -8,6 +8,7 @@ pub mod fig3_filebench;
 pub mod fig4_memcached_peak;
 pub mod fig5_memcached_pegged;
 pub mod fig6_rocksdb;
+pub mod group_scaling;
 pub mod table1_criu;
 pub mod table4_posix_objects;
 pub mod table5_memory_objects;
@@ -32,5 +33,6 @@ pub fn all() -> Vec<Entry> {
         ("table6_applications", table6_applications::run),
         ("table7_aurora_vs_criu", table7_aurora_vs_criu::run),
         ("ablations", ablations::run),
+        ("group_scaling", group_scaling::run),
     ]
 }

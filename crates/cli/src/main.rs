@@ -101,16 +101,22 @@ fn usage() {
     );
 }
 
-/// The canned workload `stat`/`watch` instrument: attach a counter app,
-/// six checkpointed work intervals, a durable named checkpoint, a power
-/// loss, recovery, restore, and two more intervals. Deterministic — two
-/// runs produce byte-identical exporter output. `step` is called after
-/// every `tick` with the 1-based interval number.
+/// The canned workload `stat`/`watch` instrument: attach two counter
+/// apps as separate consistency groups (so the per-group pipeline and
+/// quiesce gauges get distinct `g<N>` rows and ticks exercise the
+/// overlapped scheduler), six checkpointed work intervals, a durable
+/// named checkpoint, a power loss, recovery, restore, and two more
+/// intervals. Deterministic — two runs produce byte-identical exporter
+/// output. `step` is called after every `tick` with the 1-based
+/// interval number.
 fn instrumented_workload(w: &mut World, mut step: impl FnMut(&mut World, u64)) {
     let pid = w.spawn_counter_app();
     let gid = w.sls.attach(pid, SlsOptions::default()).unwrap();
+    let sidecar = w.spawn_counter_app();
+    w.sls.attach(sidecar, SlsOptions::default()).unwrap();
     for i in 1..=6u64 {
         w.bump_counter(pid).unwrap();
+        w.bump_counter(sidecar).unwrap();
         w.clock.advance(10_000_000);
         w.sls.tick().unwrap();
         step(w, i);

@@ -146,6 +146,8 @@ impl AuroraApi for Sls {
         let mut pages_flushed = 0;
         {
             let mut store = self.store.lock();
+            // The region flush is its own draft epoch under the group.
+            store.stage_for(gid.0);
             let dirty: Vec<u64> = self
                 .kernel
                 .vm
@@ -168,7 +170,12 @@ impl AuroraApi for Sls {
                 pages_flushed += 1;
             }
         }
-        let info = self.store.lock().commit()?;
+        let info = {
+            let mut store = self.store.lock();
+            let info = store.commit_for(gid.0)?;
+            store.stage_for(0);
+            info
+        };
         let g = self.groups.get_mut(&gid).expect("checked");
         g.epochs.push(info.epoch);
         g.pending_durable = info.durable_at;

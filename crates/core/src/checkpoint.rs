@@ -17,6 +17,9 @@ use std::collections::{BTreeSet, VecDeque};
 pub struct StageFailure {
     /// The pipeline stage that failed ("flush", "commit").
     pub stage: &'static str,
+    /// Consistency group whose draft epoch rolled back — with several
+    /// epochs concurrently in flight, the abort report must say whose.
+    pub group: u64,
     /// Attempts made before giving up (first try + retries).
     pub attempts: u32,
     /// The error the final attempt returned.
@@ -31,6 +34,8 @@ pub struct StageFailure {
 pub struct CheckpointStats {
     /// Store epoch of this checkpoint.
     pub epoch: u64,
+    /// Consistency group this checkpoint covered.
+    pub group: u64,
     /// First (full) checkpoint of the group?
     pub full: bool,
     /// Total application stop time (quiesce → resume), ns.
@@ -244,6 +249,7 @@ impl Sls {
         let stats = crate::pipeline::CheckpointPipeline::new(self, gid)?.run()?;
         self.checkpoints_taken += 1;
         self.last_stats = Some(stats.clone());
+        self.last_stats_by_group.insert(gid.0, stats.clone());
         self.sample_metrics();
         Ok(stats)
     }

@@ -107,8 +107,10 @@ impl Sls {
             withheld.remove(&sid);
         }
 
-        // Release durable sealed batches (per group, FIFO).
-        // `released` tracks the absolute per-socket release horizon.
+        // Release durable sealed batches (per group, FIFO). Each group's
+        // queue drains against its *own* durability horizons — a slow
+        // flush in one group never serializes another group's releases,
+        // because commit barriers are per-draft in the store.
         for gid in &gids {
             let mut to_release: Vec<(u64, usize)> = Vec::new();
             let mut released_batches: Vec<(u64, u64, u64)> = Vec::new();
@@ -132,7 +134,12 @@ impl Sls {
                     trace.instant(
                         "extsync",
                         "extsync.release",
-                        &[("epoch", epoch), ("durable_at", durable_at), ("sockets", sockets)],
+                        &[
+                            ("epoch", epoch),
+                            ("group", gid.0),
+                            ("durable_at", durable_at),
+                            ("sockets", sockets),
+                        ],
                     );
                 }
             }

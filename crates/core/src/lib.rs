@@ -33,6 +33,7 @@ pub mod oidmap;
 pub mod pipeline;
 pub mod registry;
 pub mod restore;
+pub mod scheduler;
 pub mod sendrecv;
 pub mod serial;
 pub mod serializers;
@@ -42,9 +43,10 @@ pub mod world;
 pub use api::AuroraApi;
 pub use checkpoint::{CheckpointStats, Reach, StageFailure};
 pub use error::SlsError;
-pub use pipeline::CheckpointPipeline;
+pub use pipeline::{CheckpointPipeline, GroupRun, Phase};
 pub use registry::{default_registry, KObjKind, Serializer, SerializerRegistry};
 pub use restore::RestoreMode;
+pub use scheduler::{CheckpointScheduler, SchedulerPolicy};
 
 pub use aurora_frames::{FrameArena, FrameGauges, PageRef};
 
@@ -162,6 +164,9 @@ pub struct Sls {
     sampler: Option<aurora_trace::Sampler>,
     /// Stage timings of the most recent checkpoint (gauge source).
     pub(crate) last_stats: Option<CheckpointStats>,
+    /// Stage timings of each group's most recent checkpoint, keyed by
+    /// group id (per-group gauge source).
+    pub(crate) last_stats_by_group: HashMap<u64, CheckpointStats>,
     /// Checkpoints committed since boot, across groups.
     pub(crate) checkpoints_taken: u64,
     /// External-synchrony batches sealed / released since boot.
@@ -193,6 +198,7 @@ impl Sls {
             trace: aurora_trace::Trace::disabled(),
             sampler: None,
             last_stats: None,
+            last_stats_by_group: HashMap::new(),
             checkpoints_taken: 0,
             extsync_sealed: 0,
             extsync_released: 0,
@@ -238,11 +244,12 @@ impl Sls {
     /// latest stage timings, and external synchrony. Pure read.
     pub fn stat_gauges(&self) -> Vec<(String, u64)> {
         let fg = self.kernel.vm.frame_gauges();
-        let (sg, dq, dev_bytes) = {
+        let (sg, dq, dev_bytes, group_shadow) = {
             let store = self.store.lock();
             let sg = store.gauges();
+            let shadow = store.arena().group_shadow_snapshot();
             let dev = store.device().lock();
-            (sg, dev.queue_stats(), dev.bytes_written())
+            (sg, dev.queue_stats(), dev.bytes_written(), shadow)
         };
         let pending: u64 = self.groups.values().map(|g| g.sealed.len() as u64).sum();
         let mut v: Vec<(String, u64)> = vec![
@@ -256,6 +263,7 @@ impl Sls {
             ("store.current_epoch".into(), sg.current_epoch),
             ("store.floor".into(), sg.floor),
             ("store.objects".into(), sg.objects),
+            ("store.open_drafts".into(), sg.open_drafts),
             ("dev.queue_depth".into(), dq.depth),
             ("dev.bytes_in_flight".into(), dq.bytes_in_flight),
             ("dev.bytes_written".into(), dev_bytes),
@@ -274,6 +282,21 @@ impl Sls {
             v.push(("pipeline.last_flush_ns".into(), s.flush_ns));
             v.push(("pipeline.last_commit_ns".into(), s.commit_ns));
             v.push(("pipeline.last_pages_flushed".into(), s.pages_flushed));
+        }
+        // Per-group stage latency: one gauge block per consistency group
+        // that has checkpointed, so overlapping pipelines stay
+        // individually observable.
+        for (g, s) in &self.last_stats_by_group {
+            v.push((format!("pipeline.g{g}.last_stop_ns"), s.stop_time_ns));
+            v.push((format!("pipeline.g{g}.last_flush_ns"), s.flush_ns));
+            v.push((format!("pipeline.g{g}.last_commit_ns"), s.commit_ns));
+            v.push((format!("pipeline.g{g}.last_pages_flushed"), s.pages_flushed));
+        }
+        for (&g, &w) in &self.kernel.quiesce_width_by_group {
+            v.push((format!("quiesce.g{g}.last_width_ns"), w));
+        }
+        for (g, pages) in group_shadow {
+            v.push((format!("frames.g{g}.shadow_pages"), pages));
         }
         v.sort_by(|a, b| a.0.cmp(&b.0));
         v
@@ -376,22 +399,47 @@ impl Sls {
     }
 
     /// Periodic driver: checkpoints every group whose period has elapsed.
-    /// Returns the stats of the checkpoints taken.
+    /// When more than one group is due, their pipelines run through the
+    /// [`scheduler::CheckpointScheduler`] so the stop windows stagger
+    /// against each other's flushes instead of serializing. Returns the
+    /// stats of the checkpoints taken.
     pub fn tick(&mut self) -> Result<Vec<CheckpointStats>, SlsError> {
         let now = self.kernel.charge.clock().now();
-        let due: Vec<GroupId> = self
+        let mut due: Vec<GroupId> = self
             .groups
             .values()
             .filter(|g| now.saturating_sub(g.last_checkpoint_ns) >= g.opts.period_ns)
             .map(|g| g.id)
             .collect();
-        let mut out = Vec::with_capacity(due.len());
-        for gid in due {
-            out.push(self.checkpoint_now(gid)?);
-        }
+        due.sort();
+        let out = if due.len() > 1 {
+            self.checkpoint_all(&due)?
+        } else {
+            let mut out = Vec::with_capacity(due.len());
+            for gid in due {
+                out.push(self.checkpoint_now(gid)?);
+            }
+            out
+        };
         self.pump_external_synchrony();
         self.sample_metrics();
         Ok(out)
+    }
+
+    /// Checkpoints every group in `gids` with their pipelines overlapped
+    /// by the [`scheduler::CheckpointScheduler`] (default policy): group
+    /// B quiesces and serializes while group A's flush is in flight, and
+    /// each group's epoch commits against its own draft's durability
+    /// barrier. Returns one [`CheckpointStats`] per group, `gids` order.
+    pub fn checkpoint_all(&mut self, gids: &[GroupId]) -> Result<Vec<CheckpointStats>, SlsError> {
+        let all = scheduler::CheckpointScheduler::default().run(self, gids)?;
+        for stats in &all {
+            self.checkpoints_taken += 1;
+            self.last_stats_by_group.insert(stats.group, stats.clone());
+            self.last_stats = Some(stats.clone());
+        }
+        self.sample_metrics();
+        Ok(all)
     }
 
     /// The store handle (benchmarks and tools).
@@ -471,6 +519,7 @@ impl Sls {
         }
         self.groups.clear();
         self.last_stats = None;
+        self.last_stats_by_group.clear();
         Ok(())
     }
 }

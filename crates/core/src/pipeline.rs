@@ -6,6 +6,15 @@
 //! to the application stop time, and all nine sum to
 //! [`CheckpointStats::stage_total_ns`].
 //!
+//! The pipeline is sharded by consistency group: a [`GroupRun`] is one
+//! group's checkpoint as a resumable state machine over four phases
+//! (Stop → Flush → Seal → Commit), every store mutation staged under
+//! the group's draft epoch. [`CheckpointPipeline`] drives one run to
+//! completion (the single-group path); the
+//! [`CheckpointScheduler`](crate::scheduler::CheckpointScheduler)
+//! interleaves many runs so group B can quiesce while group A's flush
+//! is still in flight.
+//!
 //! The Serialize and Flush stages dispatch through the
 //! [`SerializerRegistry`] — the pipeline knows *when* to serialize, the
 //! registry knows *how* each object kind does.
@@ -34,15 +43,6 @@ const BACKOFF_BASE_NS: u64 = 50_000;
 /// both [`CheckpointStats`] and the trace exporter read from it.
 #[derive(Default)]
 struct StageSpans(Vec<(&'static str, u64, u64)>);
-
-impl StageSpans {
-    /// Closes the current stage at the clock's now.
-    fn mark(&mut self, clock: &aurora_sim::Clock, last: &mut u64, name: &'static str) {
-        let now = clock.now();
-        self.0.push((name, *last, now - *last));
-        *last = now;
-    }
-}
 
 /// Output of the Quiesce stage: the frozen membership.
 pub struct Quiesced {
@@ -82,9 +82,30 @@ struct Snapshot {
     lineages: HashMap<u64, LineageBinding>,
 }
 
-/// One checkpoint, as an explicit staged pipeline over a group.
-pub struct CheckpointPipeline<'a> {
-    sls: &'a mut Sls,
+/// Where a [`GroupRun`] is in its checkpoint. The Stop phase runs the
+/// first six stages (quiesce → resume) contiguously so the group's stop
+/// window stays one closed interval; the later phases are separate steps
+/// a scheduler can interleave with other groups' phases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Quiesce → Collapse → AioDrain → Serialize → Shadow → Resume.
+    Stop,
+    /// Flush records and pages, concurrent with execution.
+    Flush,
+    /// Seal outbound messages (external synchrony).
+    Seal,
+    /// Commit the group's draft epoch.
+    Commit,
+    /// Finished (committed or aborted); stats are ready.
+    Done,
+}
+
+/// One group's checkpoint as a resumable state machine. A `GroupRun`
+/// holds no borrow of the [`Sls`], so a scheduler can hold many runs
+/// and step them against one world — each [`step`](GroupRun::step)
+/// re-stages the store's draft cursor to this group first, so store
+/// mutations from interleaved runs land in separate draft epochs.
+pub struct GroupRun {
     gid: GroupId,
     registry: Arc<SerializerRegistry>,
     collapse_mode: CollapseMode,
@@ -95,13 +116,29 @@ pub struct CheckpointPipeline<'a> {
     /// must re-dirty them because their "durable" copies die with the
     /// rolled-back epoch.
     cleaned_pages: Vec<(ObjId, u64)>,
+    spans: StageSpans,
+    t0: u64,
+    last: u64,
+    stats: CheckpointStats,
+    snap: Option<Snapshot>,
+    q: Option<Quiesced>,
+    s: Option<Serialized>,
+    fout: FlushOut,
+    sealed: Option<HashMap<u64, usize>>,
+    phase: Phase,
+    /// Backpressure horizon: the Stop phase must not start before the
+    /// group's previous checkpoint is durable (§7).
+    ready_at: u64,
 }
 
-impl<'a> CheckpointPipeline<'a> {
-    /// Prepares a checkpoint of `gid`: validates membership and applies
-    /// backpressure (Aurora waits for the previous checkpoint to fully
-    /// persist before initiating another, §7).
-    pub fn new(sls: &'a mut Sls, gid: GroupId) -> Result<Self, SlsError> {
+impl GroupRun {
+    /// Prepares a checkpoint run of `gid`: validates membership and
+    /// records the group's backpressure horizon (Aurora waits for the
+    /// previous checkpoint to fully persist before initiating another,
+    /// §7). The clock is *not* advanced here — the single-group driver
+    /// advances it immediately, a scheduler overlaps the wait with
+    /// other groups' phases.
+    pub fn new(sls: &mut Sls, gid: GroupId) -> Result<Self, SlsError> {
         let pids = sls.group_pids(gid)?;
         let persist: Vec<Pid> = pids
             .iter()
@@ -111,15 +148,13 @@ impl<'a> CheckpointPipeline<'a> {
         if persist.is_empty() {
             return Err(SlsError::NoSuchGroup(gid));
         }
-        let (collapse_mode, pending) = {
+        let (collapse_mode, ready_at) = {
             let g = sls.groups.get(&gid).ok_or(SlsError::NoSuchGroup(gid))?;
             (g.opts.collapse_mode, g.pending_durable)
         };
-        sls.kernel.charge.clock().advance_to(pending);
         let full = sls.groups[&gid].epochs.is_empty();
         let registry = sls.registry.clone();
         Ok(Self {
-            sls,
             gid,
             registry,
             collapse_mode,
@@ -127,85 +162,160 @@ impl<'a> CheckpointPipeline<'a> {
             persist,
             full,
             cleaned_pages: Vec::new(),
+            spans: StageSpans::default(),
+            t0: 0,
+            last: 0,
+            stats: CheckpointStats { group: gid.0, ..CheckpointStats::default() },
+            snap: None,
+            q: None,
+            s: None,
+            fout: FlushOut::default(),
+            sealed: None,
+            phase: Phase::Stop,
+            ready_at,
         })
     }
 
-    /// Runs every stage in order and assembles the stats. Stage timings
-    /// are cumulative marks off one stopwatch, so they sum exactly.
+    /// The group this run checkpoints.
+    pub fn gid(&self) -> GroupId {
+        self.gid
+    }
+
+    /// The run's current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// True once the run committed or aborted.
+    pub fn is_done(&self) -> bool {
+        self.phase == Phase::Done
+    }
+
+    /// Virtual time before which the Stop phase must not start (the
+    /// group's previous checkpoint's durability horizon).
+    pub fn ready_at(&self) -> u64 {
+        self.ready_at
+    }
+
+    /// The finished run's stats. Call only when [`is_done`](Self::is_done).
+    pub fn take_stats(self) -> CheckpointStats {
+        debug_assert!(self.phase == Phase::Done, "stats taken from an unfinished run");
+        self.stats
+    }
+
+    /// Closes the current stage at the clock's now.
+    fn mark(&mut self, clock: &aurora_sim::Clock, name: &'static str) {
+        let now = clock.now();
+        self.spans.0.push((name, self.last, now - self.last));
+        self.last = now;
+    }
+
+    /// Runs the current phase to its boundary and advances. Stage
+    /// timings re-anchor at each step so interleaved runs never charge
+    /// another group's clock advances to their own stages; within one
+    /// step the marks are cumulative off one stopwatch, so they sum
+    /// exactly.
     ///
-    /// The device-facing stages (Flush, Commit) get [`MAX_ATTEMPTS`]
+    /// The device-facing phases (Flush, Commit) get [`MAX_ATTEMPTS`]
     /// tries with exponential backoff for transient device errors; a
-    /// stage that still fails aborts the checkpoint — the uncommitted
-    /// epoch is discarded and the live world rolled back — and the
-    /// failure is reported in [`CheckpointStats::failure`] rather than
-    /// as an `Err`: the machine keeps running and the next checkpoint
-    /// starts clean.
-    pub fn run(mut self) -> Result<CheckpointStats, SlsError> {
-        let clock = self.sls.kernel.charge.clock().clone();
-        // Stage boundaries are recorded once into `spans` and consumed by
-        // both the stats breakdown and the trace exporter, so the two
-        // views of the pipeline cannot drift.
-        let t0 = clock.now();
-        let mut last = t0;
-        let mut spans = StageSpans::default();
-        let mut stats = CheckpointStats::default();
-
-        let q = self.quiesce()?;
-        spans.mark(&clock, &mut last, "quiesce");
-        self.collapse(&q)?;
-        spans.mark(&clock, &mut last, "collapse");
-        self.aio_drain(&q)?;
-        spans.mark(&clock, &mut last, "aio-drain");
-        // Serialize is the first stage that mutates shared state (OID
-        // assignment, lineage bindings); snapshot just before it.
-        let snap = self.snapshot()?;
-        let s = self.serialize(&q)?;
-        spans.mark(&clock, &mut last, "serialize");
-        self.shadow(&q, &s)?;
-        spans.mark(&clock, &mut last, "shadow");
-        self.resume(&q)?;
-        spans.mark(&clock, &mut last, "resume");
-
-        let f = match self.with_retry(&mut stats, |p| p.flush(&s)) {
-            Ok(f) => f,
-            Err((attempts, cause)) => {
-                spans.mark(&clock, &mut last, "flush");
-                self.finish_stages(&mut stats, t0, &spans);
-                return self.abort(stats, "flush", attempts, cause, snap);
+    /// phase that still fails aborts the checkpoint — the group's
+    /// uncommitted draft epoch is discarded and the live world rolled
+    /// back — and the failure is reported in
+    /// [`CheckpointStats::failure`] rather than as an `Err`: the
+    /// machine keeps running and the next checkpoint starts clean.
+    pub fn step(&mut self, sls: &mut Sls) -> Result<(), SlsError> {
+        let clock = sls.kernel.charge.clock().clone();
+        match self.phase {
+            Phase::Stop => {
+                sls.store.lock().stage_for(self.gid.0);
+                self.t0 = clock.now();
+                self.last = self.t0;
+                let q = self.quiesce(sls)?;
+                self.mark(&clock, "quiesce");
+                self.collapse(sls, &q)?;
+                self.mark(&clock, "collapse");
+                self.aio_drain(sls, &q)?;
+                self.mark(&clock, "aio-drain");
+                // Serialize is the first stage that mutates shared state
+                // (OID assignment, lineage bindings); snapshot just
+                // before it.
+                self.snap = Some(self.snapshot(sls)?);
+                let s = self.serialize(sls, &q)?;
+                self.mark(&clock, "serialize");
+                self.shadow(sls, &q, &s)?;
+                self.mark(&clock, "shadow");
+                self.resume(sls, &q)?;
+                self.mark(&clock, "resume");
+                self.q = Some(q);
+                self.s = Some(s);
+                self.phase = Phase::Flush;
             }
-        };
-        spans.mark(&clock, &mut last, "flush");
-        // The flush handed the frozen frames to the store's page cache
-        // by reference — sample the aliasing while it is visible, before
-        // post-resume writes break it.
-        stats.shared_frames = self.sls.kernel.vm.frame_gauges().shared;
-        let sealed = self.seal()?;
-        spans.mark(&clock, &mut last, "seal");
-        let info = match self.with_retry(&mut stats, |p| p.commit(sealed.clone())) {
-            Ok(i) => i,
-            Err((attempts, cause)) => {
-                spans.mark(&clock, &mut last, "commit");
-                self.finish_stages(&mut stats, t0, &spans);
-                return self.abort(stats, "commit", attempts, cause, snap);
+            Phase::Flush => {
+                sls.store.lock().stage_for(self.gid.0);
+                self.last = clock.now();
+                let s = self.s.take().expect("serialized in Stop");
+                match self.with_retry(sls, |run, sls| run.flush(sls, &s)) {
+                    Ok(f) => {
+                        self.mark(&clock, "flush");
+                        // The flush handed the frozen frames to the
+                        // store's page cache by reference — sample the
+                        // aliasing while it is visible, before
+                        // post-resume writes break it.
+                        self.stats.shared_frames = sls.kernel.vm.frame_gauges().shared;
+                        self.fout = f;
+                        self.s = Some(s);
+                        self.phase = Phase::Seal;
+                    }
+                    Err((attempts, cause)) => {
+                        self.mark(&clock, "flush");
+                        self.finish_stages(sls);
+                        self.abort(sls, "flush", attempts, cause);
+                    }
+                }
             }
-        };
-        spans.mark(&clock, &mut last, "commit");
-
-        stats.epoch = info.epoch;
-        stats.full = q.full;
-        stats.objects = s.buffers.len() as u64;
-        stats.pages_flushed = f.pages_flushed;
-        stats.bytes_flushed = f.bytes_flushed;
-        stats.durable_at = info.durable_at;
-        self.finish_stages(&mut stats, t0, &spans);
-        Ok(stats)
+            Phase::Seal => {
+                self.last = clock.now();
+                let sealed = self.seal(sls)?;
+                self.mark(&clock, "seal");
+                self.sealed = Some(sealed);
+                self.phase = Phase::Commit;
+            }
+            Phase::Commit => {
+                sls.store.lock().stage_for(self.gid.0);
+                self.last = clock.now();
+                let sealed = self.sealed.take().expect("sealed in Seal");
+                match self.with_retry(sls, |run, sls| run.commit(sls, sealed.clone())) {
+                    Ok(info) => {
+                        self.mark(&clock, "commit");
+                        self.stats.epoch = info.epoch;
+                        self.stats.full = self.full;
+                        self.stats.objects =
+                            self.s.as_ref().map(|s| s.buffers.len() as u64).unwrap_or(0);
+                        self.stats.pages_flushed = self.fout.pages_flushed;
+                        self.stats.bytes_flushed = self.fout.bytes_flushed;
+                        self.stats.durable_at = info.durable_at;
+                        self.finish_stages(sls);
+                        sls.store.lock().stage_for(0);
+                        self.phase = Phase::Done;
+                    }
+                    Err((attempts, cause)) => {
+                        self.mark(&clock, "commit");
+                        self.finish_stages(sls);
+                        self.abort(sls, "commit", attempts, cause);
+                    }
+                }
+            }
+            Phase::Done => {}
+        }
+        Ok(())
     }
 
     /// Fills the per-stage stats fields from the recorded spans and, when
     /// tracing is on, emits one "pipeline" complete-span per stage plus
     /// the enclosing "checkpoint" parent span.
-    fn finish_stages(&self, stats: &mut CheckpointStats, t0: u64, spans: &StageSpans) {
-        for &(name, _, dur) in &spans.0 {
+    fn finish_stages(&mut self, sls: &Sls) {
+        let stats = &mut self.stats;
+        for &(name, _, dur) in &self.spans.0 {
             match name {
                 "quiesce" => stats.quiesce_ns = dur,
                 "collapse" => stats.collapse_ns = dur,
@@ -225,30 +335,34 @@ impl<'a> CheckpointPipeline<'a> {
             + stats.os_state_ns
             + stats.shadow_ns
             + stats.resume_ns;
-        let trace = self.sls.kernel.charge.trace();
+        let trace = sls.kernel.charge.trace();
         if trace.is_enabled() {
-            let end = spans.0.last().map(|&(_, s, d)| s + d).unwrap_or(t0);
+            let end = self.spans.0.last().map(|&(_, s, d)| s + d).unwrap_or(self.t0);
             trace.complete(
                 "pipeline",
                 "checkpoint",
-                t0,
-                end - t0,
-                &[("epoch", stats.epoch), ("full", stats.full as u64)],
+                self.t0,
+                end - self.t0,
+                &[
+                    ("group", self.gid.0),
+                    ("epoch", stats.epoch),
+                    ("full", stats.full as u64),
+                ],
             );
-            for &(name, start, dur) in &spans.0 {
-                trace.complete("pipeline", name, start, dur, &[]);
+            for &(name, start, dur) in &self.spans.0 {
+                trace.complete("pipeline", name, start, dur, &[("group", self.gid.0)]);
                 trace.hist(&format!("stage.{name}"), dur);
             }
         }
     }
 
     /// Captures the live-world state the later stages mutate.
-    fn snapshot(&self) -> Result<Snapshot, SlsError> {
-        let g = self.sls.groups.get(&self.gid).ok_or(SlsError::NoSuchGroup(self.gid))?;
+    fn snapshot(&self, sls: &Sls) -> Result<Snapshot, SlsError> {
+        let g = sls.groups.get(&self.gid).ok_or(SlsError::NoSuchGroup(self.gid))?;
         Ok(Snapshot {
             oidmap: g.oidmap.clone(),
             vnode_hash: g.vnode_hash.clone(),
-            lineages: self.sls.lineage_oids.lock().clone(),
+            lineages: sls.lineage_oids.lock().clone(),
         })
     }
 
@@ -259,26 +373,30 @@ impl<'a> CheckpointPipeline<'a> {
     /// errors).
     fn with_retry<T>(
         &mut self,
-        stats: &mut CheckpointStats,
-        mut op: impl FnMut(&mut Self) -> Result<T, SlsError>,
+        sls: &mut Sls,
+        mut op: impl FnMut(&mut Self, &mut Sls) -> Result<T, SlsError>,
     ) -> Result<T, (u32, SlsError)> {
         let mut attempts = 0u32;
         loop {
             attempts += 1;
-            match op(self) {
+            match op(self, sls) {
                 Ok(v) => return Ok(v),
                 Err(e) if e.is_transient() && attempts < MAX_ATTEMPTS => {
-                    stats.retries += 1;
+                    self.stats.retries += 1;
                     let backoff = BACKOFF_BASE_NS << (attempts - 1);
-                    let trace = self.sls.kernel.charge.trace();
+                    let trace = sls.kernel.charge.trace();
                     if trace.is_enabled() {
                         trace.instant(
                             "pipeline",
                             "pipeline.retry",
-                            &[("attempt", attempts as u64), ("backoff_ns", backoff)],
+                            &[
+                                ("group", self.gid.0),
+                                ("attempt", attempts as u64),
+                                ("backoff_ns", backoff),
+                            ],
                         );
                     }
-                    self.sls.kernel.charge.raw(backoff);
+                    sls.kernel.charge.raw(backoff);
                 }
                 Err(e) => return Err((attempts, e)),
             }
@@ -286,49 +404,55 @@ impl<'a> CheckpointPipeline<'a> {
     }
 
     /// Rolls the live world back after a stage exhausted its retries:
-    /// the store's uncommitted epoch is discarded (its staged blocks
-    /// freed, the epoch number reusable), the group's OID map and vnode
-    /// fingerprints and the pager's lineage bindings revert to their
-    /// pre-serialize snapshot, and every page a flush attempt marked
-    /// clean is dirtied again. The failed checkpoint is reported via
-    /// [`CheckpointStats::failure`]; nothing of it remains visible.
-    fn abort(
-        mut self,
-        mut stats: CheckpointStats,
-        stage: &'static str,
-        attempts: u32,
-        cause: SlsError,
-        snap: Snapshot,
-    ) -> Result<CheckpointStats, SlsError> {
-        let trace = self.sls.kernel.charge.trace();
+    /// the group's uncommitted draft epoch is discarded (its staged
+    /// blocks freed), the group's OID map and vnode fingerprints and
+    /// the pager's lineage bindings revert to their pre-serialize
+    /// snapshot, and every page a flush attempt marked clean is dirtied
+    /// again. Other groups' in-flight drafts are untouched. The failed
+    /// checkpoint is reported via [`CheckpointStats::failure`]; nothing
+    /// of it remains visible.
+    fn abort(&mut self, sls: &mut Sls, stage: &'static str, attempts: u32, cause: SlsError) {
+        let trace = sls.kernel.charge.trace();
         if trace.is_enabled() {
-            trace.instant("pipeline", "pipeline.abort", &[("attempts", attempts as u64)]);
+            trace.instant(
+                "pipeline",
+                "pipeline.abort",
+                &[("group", self.gid.0), ("attempts", attempts as u64)],
+            );
         }
-        self.sls.store.lock().abort_epoch();
-        if let Some(g) = self.sls.groups.get_mut(&self.gid) {
-            g.oidmap = snap.oidmap;
-            g.vnode_hash = snap.vnode_hash;
+        {
+            let mut store = sls.store.lock();
+            store.abort_epoch_for(self.gid.0);
+            store.stage_for(0);
         }
-        *self.sls.lineage_oids.lock() = snap.lineages;
+        if let Some(snap) = self.snap.take() {
+            if let Some(g) = sls.groups.get_mut(&self.gid) {
+                g.oidmap = snap.oidmap;
+                g.vnode_hash = snap.vnode_hash;
+            }
+            *sls.lineage_oids.lock() = snap.lineages;
+        }
         for (obj, pi) in std::mem::take(&mut self.cleaned_pages) {
             // The page may have been shadowed since it was flushed; a
             // non-resident slot has nothing to re-dirty (the dirty copy
             // lives elsewhere in the chain).
-            let _ = self.sls.kernel.vm.mark_dirty(obj, pi);
+            let _ = sls.kernel.vm.mark_dirty(obj, pi);
         }
-        stats.failure = Some(StageFailure { stage, attempts, cause });
-        Ok(stats)
+        self.stats.failure = Some(StageFailure { stage, group: self.gid.0, attempts, cause });
+        self.phase = Phase::Done;
     }
 
     /// Stage 1 — Quiesce: every member (ephemeral included) stops at
-    /// the kernel boundary.
-    pub fn quiesce(&mut self) -> Result<Quiesced, SlsError> {
-        self.sls.kernel.quiesce(&self.pids)?;
-        self.sls.kernel.charge.raw(self.sls.kernel.charge.model().checkpoint_barrier_ns);
+    /// the kernel boundary. Only this group stops; the rest of the
+    /// machine — including other groups' in-flight flushes — keeps
+    /// going.
+    fn quiesce(&mut self, sls: &mut Sls) -> Result<Quiesced, SlsError> {
+        sls.kernel.quiesce_group(&self.pids, self.gid.0)?;
+        sls.kernel.charge.raw(sls.kernel.charge.model().checkpoint_barrier_ns);
         let spaces: Vec<SpaceId> = self
             .persist
             .iter()
-            .map(|&p| self.sls.kernel.proc(p).map(|pr| pr.space))
+            .map(|&p| sls.kernel.proc(p).map(|pr| pr.space))
             .collect::<Result<_, _>>()?;
         Ok(Quiesced {
             pids: self.pids.clone(),
@@ -341,20 +465,20 @@ impl<'a> CheckpointPipeline<'a> {
     /// Stage 2 — Collapse: fold the shadows retired by the previous
     /// checkpoint; their flush is durable thanks to the backpressure
     /// wait.
-    pub fn collapse(&mut self, q: &Quiesced) -> Result<(), SlsError> {
+    fn collapse(&mut self, sls: &mut Sls, q: &Quiesced) -> Result<(), SlsError> {
         if q.full {
             return Ok(());
         }
         let mut tops = BTreeSet::new();
         for &space in &q.spaces {
-            for e in self.sls.kernel.vm.entries(space)? {
+            for e in sls.kernel.vm.entries(space)? {
                 tops.insert(e.object);
             }
         }
         for top in tops {
             // Refusals (short chains, fork shadows in the middle) are
             // expected; corruption is not.
-            let _ = self.sls.kernel.vm.collapse_under(top, self.collapse_mode);
+            let _ = sls.kernel.vm.collapse_under(top, self.collapse_mode);
         }
         Ok(())
     }
@@ -362,10 +486,9 @@ impl<'a> CheckpointPipeline<'a> {
     /// Stage 3 — AioDrain: in-flight writes must be incorporated before
     /// the checkpoint counts as complete — wait them out now; reads stay
     /// pending and are recorded for reissue at restore (§5.3).
-    pub fn aio_drain(&mut self, q: &Quiesced) -> Result<(), SlsError> {
+    fn aio_drain(&mut self, sls: &mut Sls, q: &Quiesced) -> Result<(), SlsError> {
         let member: HashSet<u32> = q.persist.iter().map(|p| p.0).collect();
-        let pending_writes: Vec<u64> = self
-            .sls
+        let pending_writes: Vec<u64> = sls
             .kernel
             .aio
             .in_flight()
@@ -374,8 +497,8 @@ impl<'a> CheckpointPipeline<'a> {
             .collect();
         for id in pending_writes {
             // Device-side completion wait, then fold into the image.
-            self.sls.kernel.charge.raw(12_000);
-            self.sls.kernel.aio.complete(id, false);
+            sls.kernel.charge.raw(12_000);
+            sls.kernel.aio.complete(id, false);
         }
         Ok(())
     }
@@ -383,15 +506,14 @@ impl<'a> CheckpointPipeline<'a> {
     /// Stage 4 — Serialize: walk the object graph once, assign OIDs, and
     /// encode every reachable object into a memory buffer — all through
     /// the registry; no per-kind logic lives here.
-    pub fn serialize(&mut self, q: &Quiesced) -> Result<Serialized, SlsError> {
-        let reach = Reach::collect(&self.sls.kernel, &q.persist)?;
+    fn serialize(&mut self, sls: &mut Sls, q: &Quiesced) -> Result<Serialized, SlsError> {
+        let reach = Reach::collect(&sls.kernel, &q.persist)?;
         let plan: Vec<(KObjKind, Vec<u64>)> = self
             .registry
             .iter()
-            .map(|s| Ok((s.kind(), s.collect(&self.sls.kernel, &reach)?)))
+            .map(|s| Ok((s.kind(), s.collect(&sls.kernel, &reach)?)))
             .collect::<Result<_, SlsError>>()?;
         {
-            let sls = &mut *self.sls;
             let g = sls.groups.get_mut(&self.gid).ok_or(SlsError::NoSuchGroup(self.gid))?;
             let mut store = sls.store.lock();
             let mut lineages = sls.lineage_oids.lock();
@@ -410,8 +532,8 @@ impl<'a> CheckpointPipeline<'a> {
         }
         let mut buffers: Vec<(Oid, Vec<u8>)> = Vec::new();
         {
-            let g = self.sls.groups.get(&self.gid).ok_or(SlsError::NoSuchGroup(self.gid))?;
-            let k = &self.sls.kernel;
+            let g = sls.groups.get(&self.gid).ok_or(SlsError::NoSuchGroup(self.gid))?;
+            let k = &sls.kernel;
             for (kind, ids) in &plan {
                 let ser = self.registry.get(*kind)?;
                 for &id in ids {
@@ -427,29 +549,31 @@ impl<'a> CheckpointPipeline<'a> {
 
     /// Stage 5 — Shadow: one system shadow per writable object across
     /// the whole group; COW-mark the frozen pages; TLB shootdown (§6).
-    pub fn shadow(&mut self, q: &Quiesced, s: &Serialized) -> Result<(), SlsError> {
-        let stats_before = self.sls.kernel.vm.stats;
-        let pairs = self.sls.kernel.vm.system_shadow(&q.spaces)?;
+    /// The frozen page count is attributed to the group in the frame
+    /// arena's per-group shadow gauges.
+    fn shadow(&mut self, sls: &mut Sls, q: &Quiesced, s: &Serialized) -> Result<(), SlsError> {
+        let stats_before = sls.kernel.vm.stats;
+        let pairs = sls.kernel.vm.system_shadow(&q.spaces)?;
         for pair in &pairs {
-            self.sls.kernel.shm_backmap(pair.old_top, pair.new_top);
+            sls.kernel.shm_backmap(pair.old_top, pair.new_top);
         }
-        let delta = self.sls.kernel.vm.stats - stats_before;
-        let model = self.sls.kernel.charge.model().clone();
-        self.sls.kernel.charge.raw(delta.pte_downgrades * model.pte_cow_ns);
-        self.sls.kernel.charge.raw(model.shootdown_ns(s.reach.threads.len() as u64));
+        let delta = sls.kernel.vm.stats - stats_before;
+        let model = sls.kernel.charge.model().clone();
+        sls.kernel.charge.raw(delta.pte_downgrades * model.pte_cow_ns);
+        sls.kernel.charge.raw(model.shootdown_ns(s.reach.threads.len() as u64));
+        sls.store.lock().arena().note_group_shadow(self.gid.0, delta.pte_downgrades);
         Ok(())
     }
 
     /// Stage 6 — Resume: the application runs again; stop time ends.
-    pub fn resume(&mut self, q: &Quiesced) -> Result<(), SlsError> {
-        Ok(self.sls.kernel.resume(&q.pids)?)
+    fn resume(&mut self, sls: &mut Sls, q: &Quiesced) -> Result<(), SlsError> {
+        Ok(sls.kernel.resume(&q.pids)?)
     }
 
     /// Stage 7 — Flush, concurrent with execution: records as one
     /// charged metadata batch, then each kind's bulk data through its
     /// serializer's flush hook, then the group manifest.
-    pub fn flush(&mut self, s: &Serialized) -> Result<FlushOut, SlsError> {
-        let sls = &mut *self.sls;
+    fn flush(&mut self, sls: &mut Sls, s: &Serialized) -> Result<FlushOut, SlsError> {
         let g = sls.groups.get_mut(&self.gid).ok_or(SlsError::NoSuchGroup(self.gid))?;
         let mut store = sls.store.lock();
         let mut out = FlushOut::default();
@@ -517,43 +641,72 @@ impl<'a> CheckpointPipeline<'a> {
 
     /// Stage 8 — Seal outbound messages under this checkpoint (external
     /// synchrony, §3).
-    pub fn seal(&mut self) -> Result<HashMap<u64, usize>, SlsError> {
-        self.sls.seal_group_sockets(self.gid)
+    fn seal(&mut self, sls: &mut Sls) -> Result<HashMap<u64, usize>, SlsError> {
+        sls.seal_group_sockets(self.gid)
     }
 
-    /// Stage 9 — Commit: one compact metadata record; durable once the
-    /// data completions it is ordered behind land.
-    pub fn commit(&mut self, sealed_counts: HashMap<u64, usize>) -> Result<CommitInfo, SlsError> {
+    /// Stage 9 — Commit: one compact metadata record for this group's
+    /// draft; durable once the data completions *this draft* is ordered
+    /// behind land — other groups' slower flushes do not extend the
+    /// barrier.
+    fn commit(&mut self, sls: &mut Sls, sealed_counts: HashMap<u64, usize>) -> Result<CommitInfo, SlsError> {
         let info = {
-            let mut store = self.sls.store.lock();
-            store.commit()?
+            let mut store = sls.store.lock();
+            store.commit_for(self.gid.0)?
         };
-        let now = self.sls.kernel.charge.clock().now();
-        let g = self.sls.groups.get_mut(&self.gid).ok_or(SlsError::NoSuchGroup(self.gid))?;
+        let now = sls.kernel.charge.clock().now();
+        let g = sls.groups.get_mut(&self.gid).ok_or(SlsError::NoSuchGroup(self.gid))?;
         g.epochs.push(info.epoch);
         g.pending_durable = info.durable_at;
         g.last_checkpoint_ns = now;
         if g.opts.external_synchrony {
-            let trace = self.sls.kernel.charge.trace();
+            let trace = sls.kernel.charge.trace();
             if trace.is_enabled() {
                 trace.instant(
                     "extsync",
                     "extsync.seal",
                     &[
                         ("epoch", info.epoch),
+                        ("group", self.gid.0),
                         ("durable_at", info.durable_at),
                         ("sockets", sealed_counts.len() as u64),
                     ],
                 );
             }
-            let g = self.sls.groups.get_mut(&self.gid).expect("checked above");
+            let g = sls.groups.get_mut(&self.gid).expect("checked above");
             g.sealed.push_back(SealedBatch {
                 epoch: info.epoch,
                 durable_at: info.durable_at,
                 counts: sealed_counts,
             });
-            self.sls.extsync_sealed += 1;
+            sls.extsync_sealed += 1;
         }
         Ok(info)
+    }
+}
+
+/// One checkpoint driven to completion, the single-group path: applies
+/// the backpressure wait immediately and steps the [`GroupRun`] through
+/// all four phases back-to-back.
+pub struct CheckpointPipeline<'a> {
+    sls: &'a mut Sls,
+    run: GroupRun,
+}
+
+impl<'a> CheckpointPipeline<'a> {
+    /// Prepares a checkpoint of `gid` and waits out the group's previous
+    /// checkpoint's durability (§7's backpressure).
+    pub fn new(sls: &'a mut Sls, gid: GroupId) -> Result<Self, SlsError> {
+        let run = GroupRun::new(sls, gid)?;
+        sls.kernel.charge.clock().advance_to(run.ready_at());
+        Ok(Self { sls, run })
+    }
+
+    /// Runs every phase in order and assembles the stats.
+    pub fn run(mut self) -> Result<CheckpointStats, SlsError> {
+        while !self.run.is_done() {
+            self.run.step(self.sls)?;
+        }
+        Ok(self.run.take_stats())
     }
 }

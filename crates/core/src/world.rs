@@ -7,7 +7,7 @@ use aurora_posix::{Kernel, Pid};
 use aurora_sim::cost::Charge;
 use aurora_sim::{Clock, CostModel};
 use aurora_storage::faulty::{FaultHandle, FaultPlan};
-use aurora_storage::{faulty_testbed_array, testbed_array};
+use aurora_storage::{faulty_testbed_array, nand_testbed_array, testbed_array};
 use aurora_vm::{Prot, PAGE_SIZE};
 
 /// A simulated machine running the Aurora single level store.
@@ -32,6 +32,19 @@ impl World {
         let model = CostModel::default();
         let kernel = Kernel::new(clock.clone(), model.clone());
         let dev = testbed_array(&clock, bytes);
+        let store = ObjectStore::format(dev, Charge::new(clock.clone(), model), 64 * 1024)
+            .expect("format fresh store");
+        Self { sls: Sls::new(kernel, store), clock }
+    }
+
+    /// Boots with `bytes` per TLC-NAND store device
+    /// ([`aurora_storage::nand_testbed_array`]): the latency-bound
+    /// storage profile the checkpoint scheduler benchmarks run against.
+    pub fn with_nand_store_bytes(bytes: u64) -> Self {
+        let clock = Clock::new();
+        let model = CostModel::default();
+        let kernel = Kernel::new(clock.clone(), model.clone());
+        let dev = nand_testbed_array(&clock, bytes);
         let store = ObjectStore::format(dev, Charge::new(clock.clone(), model), 64 * 1024)
             .expect("format fresh store");
         Self { sls: Sls::new(kernel, store), clock }

@@ -1,0 +1,255 @@
+//! Sharded checkpoint engine: per-group pipelines overlapping in
+//! virtual time, per-group failure isolation, and per-group external
+//! synchrony.
+
+use aurora_core::world::World;
+use aurora_core::{AuroraApi, CheckpointScheduler, GroupId, GroupRun, Phase, SlsOptions};
+use aurora_posix::Pid;
+use aurora_storage::faulty::FaultPlan;
+use aurora_trace::InvariantChecker;
+use aurora_vm::PAGE_SIZE;
+
+/// Spawns `n` single-process groups, each with a private dirty region,
+/// and takes each group's full checkpoint so later runs are incremental.
+fn fleet(w: &mut World, n: u64) -> Vec<(GroupId, Pid, u64)> {
+    let mut groups = Vec::new();
+    for i in 0..n {
+        let pid = w.sls.kernel.spawn(&format!("g{i}"));
+        let addr = w.dirty_region(pid, 8).unwrap();
+        let gid = w
+            .sls
+            .attach(pid, SlsOptions { external_synchrony: false, ..SlsOptions::default() })
+            .unwrap();
+        groups.push((gid, pid, addr));
+    }
+    let gids: Vec<GroupId> = groups.iter().map(|&(g, _, _)| g).collect();
+    let warm = w.sls.checkpoint_all(&gids).unwrap();
+    let horizon = warm.iter().map(|s| s.durable_at).max().unwrap();
+    w.clock.advance_to(horizon);
+    groups
+}
+
+fn touch(w: &mut World, pid: Pid, addr: u64) {
+    w.sls.kernel.mem_touch(pid, addr, 8 * PAGE_SIZE as u64).unwrap();
+}
+
+/// The heart of the sharded engine: group B quiesces and flushes while
+/// group A's epoch is still in flight on the device — two drafts open
+/// at once, and both commit.
+#[test]
+fn group_pipelines_overlap_in_flight_epochs() {
+    let mut w = World::with_nand_store_bytes(2 << 30);
+    let trace = w.enable_tracing();
+    let checker = InvariantChecker::arm(&trace);
+    let groups = fleet(&mut w, 2);
+    let (ga, pa, aa) = groups[0];
+    let (gb, pb, ab) = groups[1];
+    touch(&mut w, pa, aa);
+    touch(&mut w, pb, ab);
+
+    // Group A: stop + flush — its epoch now sits in the device queue.
+    let mut ra = GroupRun::new(&mut w.sls, ga).unwrap();
+    w.clock.advance_to(ra.ready_at());
+    ra.step(&mut w.sls).unwrap(); // Stop
+    assert_eq!(ra.phase(), Phase::Flush);
+    ra.step(&mut w.sls).unwrap(); // Flush
+    assert_eq!(ra.phase(), Phase::Seal);
+    {
+        let store = w.sls.store().lock();
+        assert_eq!(store.open_drafts(), 1, "A's draft is open and in flight");
+        assert!(store.inflight_drafts(w.clock.now()) >= 1);
+    }
+
+    // Group B stops and flushes while A's writes are still in flight:
+    // two epochs concurrently open.
+    let mut rb = GroupRun::new(&mut w.sls, gb).unwrap();
+    rb.step(&mut w.sls).unwrap(); // Stop
+    rb.step(&mut w.sls).unwrap(); // Flush
+    {
+        let store = w.sls.store().lock();
+        assert_eq!(store.open_drafts(), 2, "both drafts concurrently open");
+        assert!(store.inflight_drafts(w.clock.now()) >= 2, "both epochs in the device queue");
+    }
+
+    // Both finish; commit order follows completion order, and each
+    // group's stats carry its own identity.
+    while !ra.is_done() {
+        ra.step(&mut w.sls).unwrap();
+    }
+    while !rb.is_done() {
+        rb.step(&mut w.sls).unwrap();
+    }
+    let sa = ra.take_stats();
+    let sb = rb.take_stats();
+    assert!(sa.committed() && sb.committed());
+    assert_eq!(sa.group, ga.0);
+    assert_eq!(sb.group, gb.0);
+    assert_ne!(sa.epoch, sb.epoch);
+    {
+        let store = w.sls.store().lock();
+        assert_eq!(store.open_drafts(), 0);
+        assert_eq!(store.group_of_epoch(sa.epoch), ga.0);
+        assert_eq!(store.group_of_epoch(sb.epoch), gb.0);
+    }
+    assert!(checker.checked() > 0);
+    checker.assert_clean();
+}
+
+/// The scheduler staggers n groups round-robin and every group commits
+/// its own epoch, attributed in commit order.
+#[test]
+fn scheduler_commits_every_group() {
+    let mut w = World::with_nand_store_bytes(2 << 30);
+    let trace = w.enable_tracing();
+    let checker = InvariantChecker::arm(&trace);
+    let groups = fleet(&mut w, 4);
+    for &(_, pid, addr) in &groups {
+        touch(&mut w, pid, addr);
+    }
+    let gids: Vec<GroupId> = groups.iter().map(|&(g, _, _)| g).collect();
+    let stats = CheckpointScheduler::default().run(&mut w.sls, &gids).unwrap();
+    assert_eq!(stats.len(), 4);
+    let mut epochs: Vec<u64> = stats.iter().map(|s| s.epoch).collect();
+    epochs.dedup();
+    assert_eq!(epochs.len(), 4, "each group commits its own epoch");
+    for (s, &(g, _, _)) in stats.iter().zip(&groups) {
+        assert!(s.committed());
+        assert_eq!(s.group, g.0, "stats returned in requested group order");
+    }
+    // Per-group durable floors advance independently.
+    let store = w.sls.store().lock();
+    for s in &stats {
+        assert_eq!(store.durable_floor(s.group), s.durable_at);
+    }
+    drop(store);
+    assert!(checker.checked() > 0);
+    checker.assert_clean();
+}
+
+/// A device failure during one group's flush aborts only that group's
+/// epoch: the failure is tagged with the group, its draft rolls back,
+/// and the other group commits unharmed.
+#[test]
+fn abort_is_isolated_to_the_failing_group() {
+    let (mut w, faults) = World::with_faulty_store(2 << 30, FaultPlan::none());
+    let groups = fleet(&mut w, 2);
+    let (ga, pa, aa) = groups[0];
+    let (gb, pb, ab) = groups[1];
+    touch(&mut w, pa, aa);
+    touch(&mut w, pb, ab);
+
+    // Group A steps into its flush with the device wedged: every write
+    // fails until the plan is cleared, exhausting the retry budget.
+    let mut ra = GroupRun::new(&mut w.sls, ga).unwrap();
+    w.clock.advance_to(ra.ready_at());
+    ra.step(&mut w.sls).unwrap(); // Stop
+    faults.set_plan(FaultPlan {
+        fail_writes_from: Some(faults.writes_seen()),
+        ..FaultPlan::none()
+    });
+    ra.step(&mut w.sls).unwrap(); // Flush -> retries exhausted -> abort
+    assert!(ra.is_done());
+    let sa = ra.take_stats();
+    let failure = sa.failure.expect("group A's flush must fail");
+    assert_eq!(failure.group, ga.0, "failure names the aborted group");
+    assert_eq!(failure.stage, "flush");
+
+    // The device heals; group B's checkpoint is untouched by A's abort.
+    faults.clear_faults();
+    let epochs_a_before = w.sls.store().lock().epochs_for(ga.0);
+    let sb = w.sls.sls_checkpoint(gb).unwrap();
+    assert!(sb.committed());
+    assert_eq!(w.sls.store().lock().group_of_epoch(sb.epoch), gb.0);
+    assert_eq!(
+        w.sls.store().lock().epochs_for(ga.0),
+        epochs_a_before,
+        "B's commit must not move A's epoch history"
+    );
+    assert_eq!(w.sls.store().lock().open_drafts(), 0, "A's draft rolled back");
+
+    // And group A recovers on its next attempt.
+    touch(&mut w, pa, aa);
+    let sa2 = w.sls.sls_checkpoint(ga).unwrap();
+    assert!(sa2.committed(), "group A checkpoints cleanly after the abort");
+}
+
+/// External synchrony is sealed and released per group: the fast
+/// group's response flows as soon as *its* epoch is durable, not the
+/// slowest group's.
+#[test]
+fn extsync_releases_per_group_durability() {
+    let mut w = World::with_nand_store_bytes(2 << 30);
+    // Two attached servers (their own groups), one unattached client.
+    let k = &mut w.sls.kernel;
+    let sa = k.spawn("server-a");
+    let sb = k.spawn("server-b");
+    let client = k.spawn("client");
+    let mut ends = Vec::new();
+    for s in [sa, sb] {
+        let (srv, cli) = k.socketpair(s).unwrap();
+        let fid = k.resolve(s, cli).unwrap();
+        k.proc_mut(s).unwrap().fdtable.remove(cli).unwrap();
+        let cli = k.proc_mut(client).unwrap().fdtable.install(fid);
+        ends.push((srv, cli));
+    }
+    let ga = w.sls.attach(sa, SlsOptions::default()).unwrap();
+    let gb = w.sls.attach(sb, SlsOptions::default()).unwrap();
+    for (g, s) in [(ga, sa), (gb, sb)] {
+        let _ = s;
+        w.sls.sls_checkpoint(g).unwrap();
+        w.sls.sls_barrier(g).unwrap();
+    }
+
+    // Both servers respond; both responses are withheld.
+    w.sls.kernel.send(sa, ends[0].0, b"from-a").unwrap();
+    w.sls.kernel.send(sb, ends[1].0, b"from-b").unwrap();
+    w.sls.pump_external_synchrony();
+    assert!(w.sls.kernel.recvmsg(client, ends[0].1).is_err());
+    assert!(w.sls.kernel.recvmsg(client, ends[1].1).is_err());
+
+    // One overlapped checkpoint round covers both groups. The staggered
+    // pipelines give the groups distinct durability horizons.
+    let stats = w.sls.checkpoint_all(&[ga, gb]).unwrap();
+    let (da, db) = (stats[0].durable_at, stats[1].durable_at);
+    assert_ne!(da, db, "staggered groups reach durability at distinct times");
+    let (first, second) = if da < db { (0, 1) } else { (1, 0) };
+    let (dfirst, dsecond) = (da.min(db), da.max(db));
+
+    // At the first group's durability point, its response is released
+    // while the slower group's is still withheld.
+    w.clock.advance_to(dfirst);
+    w.sls.pump_external_synchrony();
+    let (msg, _) = w.sls.kernel.recvmsg(client, ends[first].1).unwrap();
+    assert_eq!(msg, if first == 0 { b"from-a" } else { b"from-b" });
+    assert!(
+        w.sls.kernel.recvmsg(client, ends[second].1).is_err(),
+        "slow group's response must stay withheld past the fast group's release"
+    );
+
+    // The slower group's durability releases the rest.
+    w.clock.advance_to(dsecond);
+    w.sls.pump_external_synchrony();
+    let (msg, _) = w.sls.kernel.recvmsg(client, ends[second].1).unwrap();
+    assert_eq!(msg, if second == 0 { b"from-a" } else { b"from-b" });
+}
+
+/// `sls stat` gauges carry per-group rows after a multi-group round.
+#[test]
+fn stat_gauges_expose_per_group_rows() {
+    let mut w = World::with_nand_store_bytes(2 << 30);
+    let groups = fleet(&mut w, 2);
+    for &(_, pid, addr) in &groups {
+        touch(&mut w, pid, addr);
+    }
+    let gids: Vec<GroupId> = groups.iter().map(|&(g, _, _)| g).collect();
+    w.sls.checkpoint_all(&gids).unwrap();
+    let gauges = w.sls.stat_gauges();
+    for g in &gids {
+        for metric in ["last_stop_ns", "last_flush_ns", "last_commit_ns", "last_pages_flushed"] {
+            let key = format!("pipeline.g{}.{metric}", g.0);
+            assert!(gauges.iter().any(|(k, _)| *k == key), "missing gauge {key}");
+        }
+        let qkey = format!("quiesce.g{}.last_width_ns", g.0);
+        assert!(gauges.iter().any(|(k, v)| *k == qkey && *v > 0), "missing gauge {qkey}");
+    }
+}

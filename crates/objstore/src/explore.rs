@@ -453,3 +453,365 @@ impl Explorer {
         recovered.len() > 1
     }
 }
+
+/// One step of a two-group crash-exploration workload. Groups stage
+/// concurrently: a commit of one group seals only that group's draft,
+/// leaving the other's open across the crash point.
+#[derive(Clone, Debug)]
+pub enum GroupOp {
+    /// Write one page of group `g`'s object `obj` into `g`'s draft.
+    Write {
+        /// Consistency group (0 or 1, workload-local).
+        g: usize,
+        /// Group-local object index.
+        obj: usize,
+        /// Page index.
+        pindex: u64,
+        /// Fill byte.
+        fill: u8,
+    },
+    /// Commit group `g`'s draft; `wait` barriers on its durability.
+    Commit {
+        /// Consistency group.
+        g: usize,
+        /// Whether the workload waits for the checkpoint.
+        wait: bool,
+    },
+    /// Synchronously append to group `g`'s journal.
+    JournalAppend {
+        /// Consistency group.
+        g: usize,
+        /// Record fill byte.
+        fill: u8,
+        /// Record length in bytes.
+        len: usize,
+    },
+}
+
+/// Generates a deterministic two-group workload from a seed. Writes
+/// dominate and alternate between groups, so both drafts are routinely
+/// open at once; commits hit one group at a time.
+pub fn group_workload_from_seed(seed: u64, ops: usize) -> Vec<GroupOp> {
+    let mut rng = DetRng::seed_from_u64(seed);
+    (0..ops)
+        .map(|_| {
+            let g = rng.gen_range(0..2) as usize;
+            match rng.gen_range(0..8) {
+                0..=4 => GroupOp::Write {
+                    g,
+                    obj: rng.gen_range(0..2) as usize,
+                    pindex: rng.gen_range(0..8),
+                    fill: rng.next_u64() as u8,
+                },
+                5 | 6 => GroupOp::Commit { g, wait: rng.gen_bool(0.5) },
+                _ => GroupOp::JournalAppend {
+                    g,
+                    fill: rng.next_u64() as u8,
+                    len: 40 + rng.gen_range(0..3000) as usize,
+                },
+            }
+        })
+        .collect()
+}
+
+/// The store-level group numbers the two workload groups stage under
+/// (group 0 is left for ungrouped callers, mirroring the SLS).
+const GROUPS: [u64; 2] = [1, 2];
+
+/// Everything one replay of the two-group workload produced.
+struct GroupReplay {
+    store: ObjectStore,
+    dev: SharedDevice,
+    handle: FaultHandle,
+    /// Per group: lazily created objects.
+    oids: [Vec<Option<Oid>>; 2],
+    /// Per group: its journal.
+    journals: [Oid; 2],
+    /// Per group: committed epochs in commit order.
+    epochs: [Vec<u64>; 2],
+    /// Per (group, epoch): modelled contents at that commit.
+    models: HashMap<(usize, u64), EpochModel>,
+    /// Per group: epochs barriered before the cut fired.
+    barriered_before_cut: [Vec<u64>; 2],
+    /// Per group: journal records appended, in order.
+    jrecords: [Vec<Vec<u8>>; 2],
+    /// Per group: how many appends completed before the cut.
+    jrecords_before_cut: [usize; 2],
+    /// Highest number of concurrently open drafts observed.
+    max_open_drafts: u64,
+    checker: InvariantChecker,
+}
+
+/// Replays the two-group workload over a faulty testbed armed with
+/// `plan`. Setup (format, per-group journals, one barriered commit per
+/// group) runs fault-free, exactly like the single-group [`replay`].
+fn group_replay(workload: &[GroupOp], plan: FaultPlan) -> GroupReplay {
+    let clock = Clock::new();
+    let (dev, handle) = faulty_testbed_array(&clock, 1 << 26, FaultPlan::none());
+    let trace = {
+        let c = clock.clone();
+        Trace::recording(move || c.now())
+    };
+    let checker = InvariantChecker::arm(&trace);
+    let mut charge = Charge::new(clock, CostModel::default());
+    charge.set_trace(trace);
+    let mut store = ObjectStore::format(dev.clone(), charge, 2048).expect("format");
+    let mut journals = [Oid(0); 2];
+    let mut epochs: [Vec<u64>; 2] = [Vec::new(), Vec::new()];
+    let mut models = HashMap::new();
+    for (i, &g) in GROUPS.iter().enumerate() {
+        store.stage_for(g);
+        let j = store.alloc_oid();
+        store.create_journal(j, 64).expect("create journal");
+        journals[i] = j;
+        let c = store.commit_for(g).expect("setup commit");
+        store.barrier(c);
+        epochs[i].push(c.epoch);
+        models.insert((i, c.epoch), EpochModel::default());
+    }
+    handle.set_plan(plan);
+
+    let mut oids: [Vec<Option<Oid>>; 2] = [vec![None; 2], vec![None; 2]];
+    let mut live: [EpochModel; 2] = [EpochModel::default(), EpochModel::default()];
+    let mut barriered_before_cut: [Vec<u64>; 2] = [Vec::new(), Vec::new()];
+    let mut jrecords: [Vec<Vec<u8>>; 2] = [Vec::new(), Vec::new()];
+    let mut jrecords_before_cut = [0usize; 2];
+    let mut max_open_drafts = 0u64;
+
+    for op in workload {
+        match *op {
+            GroupOp::Write { g, obj, pindex, fill } => {
+                store.stage_for(GROUPS[g]);
+                let oid = *oids[g][obj].get_or_insert_with(|| {
+                    let o = store.alloc_oid();
+                    store.create_object(o, ObjectKind::Memory).expect("create");
+                    o
+                });
+                live[g].objects.insert(obj);
+                let p = store.arena().alloc([fill; PAGE]);
+                store.write_page(oid, pindex, &p).expect("write");
+                live[g].pages.insert((obj, pindex), fill);
+            }
+            GroupOp::Commit { g, wait } => {
+                let info = store.commit_for(GROUPS[g]).expect("commit");
+                if wait {
+                    store.barrier(info);
+                    if !handle.cut_fired() {
+                        barriered_before_cut[g].push(info.epoch);
+                    }
+                }
+                epochs[g].push(info.epoch);
+                models.insert((g, info.epoch), live[g].clone());
+            }
+            GroupOp::JournalAppend { g, fill, len } => {
+                store.stage_for(GROUPS[g]);
+                store.journal_append(journals[g], &vec![fill; len]).expect("append");
+                jrecords[g].push(vec![fill; len]);
+                if !handle.cut_fired() {
+                    jrecords_before_cut[g] = jrecords[g].len();
+                }
+            }
+        }
+        max_open_drafts = max_open_drafts.max(store.open_drafts());
+    }
+    store.stage_for(0);
+
+    GroupReplay {
+        store,
+        dev,
+        handle,
+        oids,
+        journals,
+        epochs,
+        models,
+        barriered_before_cut,
+        jrecords,
+        jrecords_before_cut,
+        max_open_drafts,
+        checker,
+    }
+}
+
+/// The two-group crash-schedule explorer: both groups keep drafts in
+/// flight while crashes land at every write boundary, and recovery is
+/// checked group by group — one group's lost tail must not roll back or
+/// corrupt the other.
+pub struct GroupExplorer {
+    workload: Vec<GroupOp>,
+}
+
+impl GroupExplorer {
+    /// An explorer for a seeded two-group workload.
+    pub fn from_seed(seed: u64, ops: usize) -> Self {
+        Self { workload: group_workload_from_seed(seed, ops) }
+    }
+
+    /// Runs the workload fault-free and reports its write-boundary
+    /// range, per-group epochs, and draft concurrency.
+    fn golden(&self) -> (u64, u64, [Vec<u64>; 2]) {
+        let setup = group_replay(&[], FaultPlan::none());
+        let first_write = setup.handle.writes_seen();
+        let full = group_replay(&self.workload, FaultPlan::none());
+        assert!(
+            full.max_open_drafts >= 2,
+            "workload never had two drafts concurrently open (max {})",
+            full.max_open_drafts
+        );
+        (first_write, full.handle.writes_seen(), full.epochs)
+    }
+
+    /// Replays the workload once per crash point (subsampled to `cap`
+    /// schedules when given), checking each group's recovery invariants
+    /// independently. `tear_seed` tears the cut write sub-block.
+    pub fn explore(&self, cap: Option<u64>, tear_seed: Option<u64>) -> ScheduleReport {
+        let (first_write, end_write, golden_epochs) = self.golden();
+        let total = end_write - first_write;
+        let step = match cap {
+            Some(c) if c > 0 && total > c => total.div_ceil(c),
+            _ => 1,
+        };
+        let mut report = ScheduleReport::default();
+        let mut tear_rng = tear_seed.map(DetRng::seed_from_u64);
+        let mut cut = first_write;
+        while cut < end_write {
+            let plan = match &mut tear_rng {
+                Some(rng) => {
+                    let bytes = (rng.gen_range(1..PAGE as u64) | 1) as usize;
+                    FaultPlan::torn_cut_at(cut, bytes)
+                }
+                None => FaultPlan::cut_at(cut),
+            };
+            let run = group_replay(&self.workload, plan);
+            if run.handle.cut_fired() {
+                report.cuts_fired += 1;
+            }
+            if Self::check_group_recovery(&golden_epochs, run, cut, tear_seed.is_some()) {
+                report.recovered_nonempty += 1;
+            }
+            report.schedules += 1;
+            cut += step;
+        }
+        report
+    }
+
+    /// Crashes the replayed store, reopens it, and asserts the four
+    /// recovery invariants for each group independently. Returns whether
+    /// any workload epoch survived.
+    fn check_group_recovery(
+        golden: &[Vec<u64>; 2],
+        run: GroupReplay,
+        cut: u64,
+        torn: bool,
+    ) -> bool {
+        let GroupReplay {
+            store,
+            dev,
+            handle: _handle,
+            oids,
+            journals,
+            epochs: _,
+            models,
+            barriered_before_cut,
+            jrecords,
+            jrecords_before_cut,
+            max_open_drafts: _,
+            checker,
+        } = run;
+        let charge = store.charge().clone();
+        let mut rec = store
+            .crash_and_recover()
+            .unwrap_or_else(|e| panic!("crash point {cut}: recovery failed: {e}"));
+        rec.scrub().unwrap_or_else(|e| panic!("crash point {cut}: scrub failed: {e}"));
+
+        let mut any = false;
+        for (g, &sg) in GROUPS.iter().enumerate() {
+            // Invariant 1 (per group): the group's recovered epochs are a
+            // prefix of its commit order — the chained commit records
+            // cannot recover epoch N without N-1 — and nothing the group
+            // barriered before the cut is lost.
+            let recovered = rec.epochs_for(sg);
+            assert_eq!(
+                golden[g][..recovered.len()],
+                recovered[..],
+                "crash point {cut}: group {sg} epochs not a prefix of its commit order"
+            );
+            let last = recovered.last().copied().unwrap_or(0);
+            let waited = barriered_before_cut[g].iter().max().copied().unwrap_or(0);
+            assert!(
+                last >= waited,
+                "crash point {cut}: group {sg} barriered epoch {waited} lost (have {last})"
+            );
+            any |= recovered.len() > 1;
+
+            // Invariant 2 (per group): recovered contents are bit-exact
+            // against the group's model; the group's lost tail epochs are
+            // invisible.
+            for &epoch in &recovered {
+                let model = &models[&(g, epoch)];
+                let present = rec.objects_at(epoch).expect("epoch just listed");
+                for (obj, oid) in oids[g].iter().enumerate() {
+                    let Some(oid) = *oid else { continue };
+                    assert_eq!(
+                        present.contains(&oid),
+                        model.objects.contains(&obj),
+                        "crash point {cut}: group {sg} epoch {epoch} obj {obj} visibility"
+                    );
+                }
+                for (&(obj, pindex), &fill) in &model.pages {
+                    let oid = oids[g][obj].expect("modelled object was created");
+                    let page = rec
+                        .read_page(oid, pindex, epoch)
+                        .unwrap_or_else(|e| panic!("crash point {cut}: group {sg}: {e}"));
+                    assert!(
+                        page.iter().all(|&b| b == fill),
+                        "crash point {cut}: group {sg} epoch {epoch} obj {obj} page {pindex}"
+                    );
+                }
+            }
+            for &epoch in golden[g].iter().filter(|&&e| !recovered.contains(&e)) {
+                assert!(
+                    rec.objects_at(epoch).is_err(),
+                    "crash point {cut}: group {sg} lost epoch {epoch} still visible"
+                );
+            }
+
+            // Invariant 3 (per group): the group's journal replays
+            // idempotently and exposes its own synchronous appends.
+            if !recovered.is_empty() {
+                let first = rec.journal_records(journals[g]).expect("journal scan");
+                let second = rec.journal_records(journals[g]).expect("journal rescan");
+                assert_eq!(first, second, "crash point {cut}: group {sg} journal replay");
+                if torn {
+                    assert!(
+                        first.len() <= jrecords[g].len()
+                            && first == jrecords[g][..first.len()].to_vec(),
+                        "crash point {cut}: group {sg} journal not a prefix"
+                    );
+                } else {
+                    assert_eq!(
+                        first,
+                        jrecords[g][..jrecords_before_cut[g]].to_vec(),
+                        "crash point {cut}: group {sg} journal vs completed appends"
+                    );
+                }
+            }
+        }
+
+        // Invariant 4: a second open is a no-op, group attribution
+        // included.
+        let again = ObjectStore::open(dev, charge)
+            .unwrap_or_else(|e| panic!("crash point {cut}: second open failed: {e}"));
+        assert_eq!(again.epochs(), rec.epochs(), "crash point {cut}: second open epochs");
+        for &sg in &GROUPS {
+            assert_eq!(
+                again.epochs_for(sg),
+                rec.epochs_for(sg),
+                "crash point {cut}: second open changed group {sg}'s epochs"
+            );
+        }
+
+        assert!(checker.checked() > 0, "crash point {cut}: checker saw no events");
+        checker.assert_clean();
+        any
+    }
+}

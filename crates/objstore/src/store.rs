@@ -89,6 +89,10 @@ pub enum StoreError {
         oid: Option<Oid>,
         /// The epoch in progress (or being read) when the device failed.
         epoch: u64,
+        /// Consistency group whose draft the operation was staged under
+        /// (0 for reads, recovery, and ungrouped callers). Multi-group
+        /// abort paths use this to report which group's epoch rolled back.
+        group: u64,
         /// The underlying device error.
         source: DeviceError,
     },
@@ -102,14 +106,19 @@ impl StoreError {
     }
 
     /// Builds the closure `map_err` wants for a device-touching op.
-    fn dev(op: &'static str, oid: Option<Oid>, epoch: u64) -> impl FnOnce(DeviceError) -> Self {
-        move |source| StoreError::Device { op, oid, epoch, source }
+    fn dev(
+        op: &'static str,
+        oid: Option<Oid>,
+        epoch: u64,
+        group: u64,
+    ) -> impl FnOnce(DeviceError) -> Self {
+        move |source| StoreError::Device { op, oid, epoch, group, source }
     }
 
     /// Like [`dev`](Self::dev) for journal ops, which are epoch-less
     /// (journals update in place, outside checkpoint history).
     pub(crate) fn dev_err(op: &'static str, oid: Oid) -> impl FnOnce(DeviceError) -> Self {
-        move |source| StoreError::Device { op, oid: Some(oid), epoch: 0, source }
+        move |source| StoreError::Device { op, oid: Some(oid), epoch: 0, group: 0, source }
     }
 }
 
@@ -124,10 +133,16 @@ impl fmt::Display for StoreError {
             StoreError::JournalFull(o) => write!(f, "journal {o:?} is full"),
             StoreError::Corrupt(w) => write!(f, "corruption: {w}"),
             StoreError::Codec(e) => write!(f, "metadata decode: {e}"),
-            StoreError::Device { op, oid, epoch, source } => match oid {
-                Some(o) => write!(f, "device failure during {op} ({o:?}, epoch {epoch}): {source}"),
-                None => write!(f, "device failure during {op} (epoch {epoch}): {source}"),
-            },
+            StoreError::Device { op, oid, epoch, group, source } => {
+                let g =
+                    if *group > 0 { format!(", group {group}") } else { String::new() };
+                match oid {
+                    Some(o) => {
+                        write!(f, "device failure during {op} ({o:?}, epoch {epoch}{g}): {source}")
+                    }
+                    None => write!(f, "device failure during {op} (epoch {epoch}{g}): {source}"),
+                }
+            }
         }
     }
 }
@@ -159,7 +174,7 @@ struct ObjMeta {
     journal: Option<Journal>,
 }
 
-/// Pending changes for the in-progress (uncommitted) epoch.
+/// Pending changes for one group's in-flight (uncommitted) epoch.
 #[derive(Clone, Debug, Default)]
 struct DirtyState {
     objects: BTreeSet<u64>,
@@ -189,7 +204,23 @@ const SUPERBLOCK_VERSION: u16 = 1;
 // v3 added a per-page FNV-1a data checksum to every page version, so
 // silent medium corruption is caught at read time rather than handed to
 // the application.
-const RECORD_VERSION: u16 = 3;
+// v4 added the committing consistency group to the commit header, so
+// recovery can attribute every epoch to the group whose pipeline wrote
+// it. v3 records (no group field) replay as group 0.
+const RECORD_VERSION: u16 = 4;
+
+/// Provenance tags for staged (uncommitted) state. A draft entry carries
+/// `PROV_BASE | group` in its epoch slot until the group's commit retags
+/// it with the real epoch number, assigned at commit time. The high bit
+/// keeps every provenance tag above any committable epoch, so all
+/// committed-view readers (`e <= epoch` searches) skip staged state for
+/// free.
+const PROV_BASE: u64 = 1 << 63;
+
+fn prov_tag(group: u64) -> u64 {
+    debug_assert!(group < PROV_BASE, "group id overflows the provenance tag space");
+    PROV_BASE | group
+}
 
 /// FNV-1a 64-bit, used to validate metadata records at recovery and,
 /// since record v3, every data page.
@@ -209,9 +240,20 @@ pub struct ObjectStore {
     objects: HashMap<u64, ObjMeta>,
     /// Committed epochs, ascending.
     epochs: Vec<u64>,
-    /// The in-progress epoch number (next commit).
+    /// Which consistency group committed each epoch.
+    epoch_groups: HashMap<u64, u64>,
+    /// The next epoch number to commit. Epoch numbers are assigned at
+    /// commit time, so commit order == log order even with many drafts
+    /// concurrently open.
     cur_epoch: u64,
-    dirty: DirtyState,
+    /// The staging cursor: which group's draft subsequent mutations land
+    /// in. The simulation is serial, so each pipeline phase-step sets the
+    /// cursor on entry; ungrouped callers stay on draft 0.
+    staging: u64,
+    /// One open draft per group with staged (uncommitted) changes.
+    drafts: HashMap<u64, DirtyState>,
+    /// Per-group durable floor: `durable_at` of the group's last commit.
+    last_durable: HashMap<u64, u64>,
     /// Next free data block (bump) and the free list.
     next_block: u64,
     free_blocks: Vec<u64>,
@@ -262,6 +304,8 @@ pub struct StoreGauges {
     pub floor: u64,
     /// Live (not deleted) objects.
     pub objects: u64,
+    /// Concurrently open drafts (groups with staged, uncommitted state).
+    pub open_drafts: u64,
 }
 
 impl ObjectStore {
@@ -275,8 +319,11 @@ impl ObjectStore {
             charge,
             objects: HashMap::new(),
             epochs: Vec::new(),
+            epoch_groups: HashMap::new(),
             cur_epoch: 1,
-            dirty: DirtyState::default(),
+            staging: 0,
+            drafts: HashMap::new(),
+            last_durable: HashMap::new(),
             next_block: 1 + meta_blocks,
             free_blocks: Vec::new(),
             staged_free: Vec::new(),
@@ -306,7 +353,7 @@ impl ObjectStore {
         let mut block = e.finish_vec();
         block.resize(PAGE, 0);
         let mut dev = self.dev.lock();
-        let c = dev.write(0, &block).map_err(StoreError::dev("superblock", None, 0))?;
+        let c = dev.write(0, &block).map_err(StoreError::dev("superblock", None, 0, 0))?;
         dev.flush();
         let _ = c;
         Ok(())
@@ -319,7 +366,7 @@ impl ObjectStore {
         let (meta_start, data_start, capacity) = {
             let mut d = dev.lock();
             let capacity = d.capacity_blocks();
-            let sb = d.read(0, 1).map_err(StoreError::dev("open-superblock", None, 0))?;
+            let sb = d.read(0, 1).map_err(StoreError::dev("open-superblock", None, 0, 0))?;
             let mut dec = Decoder::new(&sb);
             let (_v, mut body) = dec.record(0x5350, SUPERBLOCK_VERSION)?;
             if body.u64()? != MAGIC {
@@ -332,8 +379,11 @@ impl ObjectStore {
             charge,
             objects: HashMap::new(),
             epochs: Vec::new(),
+            epoch_groups: HashMap::new(),
             cur_epoch: 1,
-            dirty: DirtyState::default(),
+            staging: 0,
+            drafts: HashMap::new(),
+            last_durable: HashMap::new(),
             next_block: data_start,
             free_blocks: Vec::new(),
             staged_free: Vec::new(),
@@ -353,7 +403,14 @@ impl ObjectStore {
         Ok(store)
     }
 
-    /// Replays the metadata log, stopping at the first invalid record.
+    /// Replays the metadata log. Within one group, records become
+    /// durable in commit order (each commit is chained after the group's
+    /// previous record), so a group's epochs always recover as a prefix.
+    /// Across groups, records may land out of log order: a crash can
+    /// lose group A's record while group B's later one is durable. The
+    /// replay therefore skips over holes — it scans forward for the next
+    /// valid record instead of stopping at the first invalid one — and
+    /// recovery exposes, per group, that group's durable prefix.
     fn replay(&mut self) -> Result<()> {
         // Announce the rewind before any replayed epoch: the invariant
         // checker resets its monotonicity watermark on this event, since
@@ -363,53 +420,23 @@ impl ObjectStore {
             trace.instant("objstore", "recovery.begin", &[]);
         }
         let mut head = self.meta_start;
-        loop {
-            if head >= self.data_start {
-                break;
+        while head < self.data_start {
+            match self.replay_record_at(head)? {
+                Some(next) => head = next,
+                None => match self.scan_for_record(head + 1)? {
+                    Some(h) => head = h,
+                    None => break,
+                },
             }
-            let header = {
-                let mut d = self.dev.lock();
-                d.read(head, 1).map_err(StoreError::dev("replay-header", None, 0))?
-            };
-            let mut dec = Decoder::new(&header);
-            let Ok((_v, mut body)) = dec.record(0x434b, RECORD_VERSION) else { break };
-            let Ok(magic) = body.u64() else { break };
-            if magic != MAGIC {
-                break;
-            }
-            let epoch = body.u64()?;
-            let floor = body.u64()?;
-            let nblocks = body.u64()?;
-            let len = body.u64()? as usize;
-            let checksum = body.u64()?;
-            if nblocks == 0 || head + 1 + nblocks > self.data_start {
-                break;
-            }
-            let payload = {
-                let mut d = self.dev.lock();
-                d.read(head + 1, nblocks).map_err(StoreError::dev("replay-payload", None, epoch))?
-            };
-            if len > payload.len() || fnv1a(&payload[..len]) != checksum {
-                break; // incomplete commit: data raced the crash
-            }
-            self.apply_record(epoch, &payload[..len])?;
-            let trace = self.charge.trace();
-            if trace.is_enabled() {
-                trace.instant("objstore", "recovery.replay", &[("epoch", epoch), ("bytes", len as u64)]);
-            }
-            self.epochs.push(epoch);
-            self.floor = self.floor.max(floor);
-            self.cur_epoch = epoch + 1;
-            head += 1 + nblocks;
-            self.meta_head = head;
         }
         // Re-apply history reclamation: epochs the pre-crash store dropped
         // stay dropped once the drop's floor made it into a durable commit
         // record. (Before that commit their blocks were never reused, so
         // resurrecting them is safe.)
         if self.floor > 0 {
-            self.epochs.retain(|&e| e >= self.floor);
             let floor = self.floor;
+            self.epochs.retain(|&e| e >= floor);
+            self.epoch_groups.retain(|&e, _| e >= floor);
             self.prune_below_floor(floor);
         }
         // Conservative allocator recovery: everything at or above the
@@ -427,6 +454,94 @@ impl ObjectStore {
         }
         self.next_block = high;
         Ok(())
+    }
+
+    /// Tries to replay one commit record at block `head`. Returns the
+    /// next head on success, `None` when the block does not hold a valid
+    /// record — a commit that raced the crash, or the log's clean end.
+    fn replay_record_at(&mut self, head: u64) -> Result<Option<u64>> {
+        let header = {
+            let mut d = self.dev.lock();
+            d.read(head, 1).map_err(StoreError::dev("replay-header", None, 0, 0))?
+        };
+        let mut dec = Decoder::new(&header);
+        let Ok((v, mut body)) = dec.record(0x434b, RECORD_VERSION) else { return Ok(None) };
+        if body.u64().ok() != Some(MAGIC) {
+            return Ok(None);
+        }
+        let Ok(epoch) = body.u64() else { return Ok(None) };
+        // v4 attributes the epoch to its committing group; earlier
+        // records predate consistency-group sharding.
+        let group = if v >= 4 {
+            let Ok(g) = body.u64() else { return Ok(None) };
+            g
+        } else {
+            0
+        };
+        let Ok(floor) = body.u64() else { return Ok(None) };
+        let Ok(nblocks) = body.u64() else { return Ok(None) };
+        let Ok(len) = body.u64() else { return Ok(None) };
+        let len = len as usize;
+        let Ok(checksum) = body.u64() else { return Ok(None) };
+        // Epochs ascend with log position; anything else is garbage.
+        if epoch < self.cur_epoch || nblocks == 0 || head + 1 + nblocks > self.data_start {
+            return Ok(None);
+        }
+        let payload = {
+            let mut d = self.dev.lock();
+            d.read(head + 1, nblocks).map_err(StoreError::dev("replay-payload", None, epoch, group))?
+        };
+        if len > payload.len() || fnv1a(&payload[..len]) != checksum {
+            return Ok(None); // incomplete commit: data raced the crash
+        }
+        self.apply_record(epoch, &payload[..len])?;
+        let trace = self.charge.trace();
+        if trace.is_enabled() {
+            trace.instant(
+                "objstore",
+                "recovery.replay",
+                &[("epoch", epoch), ("group", group), ("bytes", len as u64)],
+            );
+        }
+        self.epochs.push(epoch);
+        self.epoch_groups.insert(epoch, group);
+        self.floor = self.floor.max(floor);
+        self.cur_epoch = epoch + 1;
+        self.meta_head = head + 1 + nblocks;
+        Ok(Some(self.meta_head))
+    }
+
+    /// Scans forward from `from` for the next block that parses as a
+    /// commit-record header: hole skipping, so one group's lost record
+    /// cannot hide another group's durable later ones. Reads the log in
+    /// chunks and stops at the first fully-zero one — past the last
+    /// record the region is unwritten, so a clean end of log costs a
+    /// single extra read.
+    fn scan_for_record(&mut self, from: u64) -> Result<Option<u64>> {
+        const CHUNK: u64 = 64;
+        let mut at = from;
+        while at < self.data_start {
+            let n = CHUNK.min(self.data_start - at);
+            let buf = {
+                let mut d = self.dev.lock();
+                d.read(at, n).map_err(StoreError::dev("replay-scan", None, 0, 0))?
+            };
+            if buf.iter().all(|&b| b == 0) {
+                return Ok(None);
+            }
+            for i in 0..n {
+                let block = &buf[i as usize * PAGE..(i as usize + 1) * PAGE];
+                let mut dec = Decoder::new(block);
+                let Ok((_v, mut body)) = dec.record(0x434b, RECORD_VERSION) else { continue };
+                if body.u64().ok() == Some(MAGIC)
+                    && body.u64().ok().is_some_and(|e| e >= self.cur_epoch)
+                {
+                    return Ok(Some(at + i));
+                }
+            }
+            at += n;
+        }
+        Ok(None)
     }
 
     fn apply_record(&mut self, epoch: u64, payload: &[u8]) -> Result<()> {
@@ -484,6 +599,69 @@ impl ObjectStore {
         let o = Oid(self.next_oid);
         self.next_oid += 1;
         o
+    }
+
+    // ------------------------------------------------------------------
+    // Group staging
+    // ------------------------------------------------------------------
+
+    /// Points the staging cursor at `group`: subsequent mutations land in
+    /// that group's draft. Each group's draft is an independently open
+    /// epoch — sealed by [`commit_for`](Self::commit_for), discarded by
+    /// [`abort_epoch_for`](Self::abort_epoch_for). Ungrouped callers
+    /// (file system, journals, migration) stay on draft 0.
+    pub fn stage_for(&mut self, group: u64) {
+        self.staging = group;
+    }
+
+    /// The group the staging cursor points at.
+    pub fn staging(&self) -> u64 {
+        self.staging
+    }
+
+    /// Number of concurrently open drafts (groups with staged state).
+    pub fn open_drafts(&self) -> u64 {
+        self.drafts.len() as u64
+    }
+
+    /// Drafts whose staged data writes are still in flight at `now` —
+    /// the scheduler's device-backpressure signal.
+    pub fn inflight_drafts(&self, now: u64) -> u64 {
+        self.drafts.values().filter(|d| d.max_completion > now).count() as u64
+    }
+
+    /// Earliest virtual time at which an in-flight draft's device writes
+    /// complete (`None` when no draft has writes outstanding past `now`).
+    /// Schedulers use this to jump the clock to the next queue-drain
+    /// event instead of spinning.
+    pub fn next_draft_completion(&self, now: u64) -> Option<u64> {
+        self.drafts.values().map(|d| d.max_completion).filter(|&t| t > now).min()
+    }
+
+    /// Committed epochs belonging to `group`, ascending.
+    pub fn epochs_for(&self, group: u64) -> Vec<u64> {
+        self.epochs
+            .iter()
+            .copied()
+            .filter(|e| self.epoch_groups.get(e).copied().unwrap_or(0) == group)
+            .collect()
+    }
+
+    /// The group that committed `epoch` (0 for pre-sharding records).
+    pub fn group_of_epoch(&self, epoch: u64) -> u64 {
+        self.epoch_groups.get(&epoch).copied().unwrap_or(0)
+    }
+
+    /// Per-group durable floor: virtual time at which the group's last
+    /// commit became durable (0 if the group has never committed since
+    /// the store opened).
+    pub fn durable_floor(&self, group: u64) -> u64 {
+        self.last_durable.get(&group).copied().unwrap_or(0)
+    }
+
+    /// The draft the staging cursor points at, created on first use.
+    fn draft_mut(&mut self) -> &mut DirtyState {
+        self.drafts.entry(self.staging).or_default()
     }
 
     pub(crate) fn free_block(&mut self, lba: u64) {
@@ -567,25 +745,27 @@ impl ObjectStore {
     // Object mutation (current epoch)
     // ------------------------------------------------------------------
 
-    /// Creates an object with a caller-chosen OID.
+    /// Creates an object with a caller-chosen OID, staged in the current
+    /// group's draft.
     pub fn create_object(&mut self, oid: Oid, kind: ObjectKind) -> Result<()> {
         self.next_oid = self.next_oid.max(oid.0 + 1);
-        let epoch = self.cur_epoch;
+        let prov = prov_tag(self.staging);
         self.objects.entry(oid.0).or_insert_with(|| ObjMeta {
             kind_raw: kind.encode(),
-            created_epoch: epoch,
+            created_epoch: prov,
             ..ObjMeta::default()
         });
-        self.dirty.objects.insert(oid.0);
+        self.draft_mut().objects.insert(oid.0);
         Ok(())
     }
 
-    /// Marks an object deleted as of the current epoch; earlier
-    /// checkpoints still expose it.
+    /// Marks an object deleted as of the current group's in-flight epoch;
+    /// earlier checkpoints still expose it.
     pub fn delete_object(&mut self, oid: Oid) -> Result<()> {
+        let prov = prov_tag(self.staging);
         let o = self.objects.get_mut(&oid.0).ok_or(StoreError::NoSuchObject(oid))?;
-        o.deleted_epoch = Some(self.cur_epoch);
-        self.dirty.objects.insert(oid.0);
+        o.deleted_epoch = Some(prov);
+        self.draft_mut().objects.insert(oid.0);
         Ok(())
     }
 
@@ -605,32 +785,39 @@ impl ObjectStore {
             Err(e) => {
                 // The block was never filled; hand it straight back.
                 self.free_blocks.push(block);
-                return Err(StoreError::dev("write-page", Some(oid), self.cur_epoch)(e));
+                return Err(StoreError::dev("write-page", Some(oid), self.cur_epoch, self.staging)(
+                    e,
+                ));
             }
         };
         self.charge.encode(PAGE as u64);
-        self.dirty.max_completion = self.dirty.max_completion.max(completion.done_at);
+        let draft = self.draft_mut();
+        draft.max_completion = draft.max_completion.max(completion.done_at);
+        draft.objects.insert(oid.0);
         // Checksum the clean page as handed to the device; anything the
         // medium flips afterwards is caught at read time. Computed once
         // per frame write — cache hits never re-verify.
         let csum = fnv1a(data.bytes());
-        let epoch = self.cur_epoch;
+        let prov = prov_tag(self.staging);
         let o = self.objects.get_mut(&oid.0).expect("checked above");
         o.size = o.size.max((pindex + 1) * PAGE as u64);
         let vs = o.versions.entry(pindex).or_default();
-        match vs.last_mut() {
-            Some((e, b, c)) if *e == epoch => {
-                // Rewritten within the same (uncommitted) epoch: the old
+        let mut recycled = None;
+        match vs.iter_mut().rev().find(|(e, _, _)| *e == prov) {
+            Some((_, b, c)) => {
+                // Rewritten within the same in-flight epoch: the old
                 // block was never committed and is immediately free.
-                self.page_cache.remove(b);
-                self.free_blocks.push(*b);
+                recycled = Some(*b);
                 *b = block;
                 *c = csum;
             }
-            _ => vs.push((epoch, block, csum)),
+            None => vs.push((prov, block, csum)),
+        }
+        if let Some(b) = recycled {
+            self.page_cache.remove(&b);
+            self.free_blocks.push(b);
         }
         self.page_cache.insert(block, data.clone());
-        self.dirty.objects.insert(oid.0);
         Ok(())
     }
 
@@ -640,15 +827,24 @@ impl ObjectStore {
     /// object creates no new version, keeping commit records and
     /// incremental streams proportional to what actually changed.
     pub fn set_meta(&mut self, oid: Oid, meta: &[u8]) -> Result<()> {
-        let epoch = self.cur_epoch;
+        let prov = prov_tag(self.staging);
         self.charge.encode(meta.len() as u64);
         let o = self.objects.get_mut(&oid.0).ok_or(StoreError::NoSuchObject(oid))?;
-        match o.meta.last_mut() {
-            Some((e, m)) if *e == epoch => *m = meta.to_vec(),
-            Some((_, m)) if m.as_slice() == meta => return Ok(()),
-            _ => o.meta.push((epoch, meta.to_vec())),
+        if let Some((_, m)) = o.meta.iter_mut().rev().find(|(e, _)| *e == prov) {
+            *m = meta.to_vec();
+        } else if o
+            .meta
+            .iter()
+            .rev()
+            .find(|(e, _)| *e < PROV_BASE)
+            .is_some_and(|(_, m)| m.as_slice() == meta)
+        {
+            // Unchanged since the last committed version: no new entry.
+            return Ok(());
+        } else {
+            o.meta.push((prov, meta.to_vec()));
         }
-        self.dirty.objects.insert(oid.0);
+        self.draft_mut().objects.insert(oid.0);
         Ok(())
     }
 
@@ -674,9 +870,10 @@ impl ObjectStore {
         for (pindex, _) in pages {
             placed.push((self.alloc_block()?, *pindex));
         }
-        let write_res = {
+        let prior_max = self.drafts.get(&self.staging).map(|d| d.max_completion).unwrap_or(0);
+        let (write_res, max_done) = {
             let mut dev = self.dev.lock();
-            let mut max_done = self.dirty.max_completion;
+            let mut max_done = prior_max;
             let mut i = 0;
             let mut res = Ok(());
             while i < placed.len() {
@@ -697,31 +894,31 @@ impl ObjectStore {
                 }
                 i += 1;
             }
-            self.dirty.max_completion = max_done;
-            res
+            (res, max_done)
         };
+        self.draft_mut().max_completion = max_done;
         if let Err(e) = write_res {
             // None of the batch is indexed yet; return every placed block.
             // (Blocks written before the failure hold unreferenced data —
             // harmless to recycle, they were never committed.)
             self.free_blocks.extend(placed.iter().map(|&(b, _)| b));
-            return Err(StoreError::dev("write-pages", Some(oid), self.cur_epoch)(e));
+            return Err(StoreError::dev("write-pages", Some(oid), self.cur_epoch, self.staging)(e));
         }
         self.charge.encode((pages.len() * PAGE) as u64);
-        let epoch = self.cur_epoch;
+        let prov = prov_tag(self.staging);
         let o = self.objects.get_mut(&oid.0).expect("checked above");
         let mut recycled = Vec::new();
         for (&(block, pindex), (_, data)) in placed.iter().zip(pages) {
             let csum = fnv1a(data.bytes());
             o.size = o.size.max((pindex + 1) * PAGE as u64);
             let vs = o.versions.entry(pindex).or_default();
-            match vs.last_mut() {
-                Some((e, b, c)) if *e == epoch => {
+            match vs.iter_mut().rev().find(|(e, _, _)| *e == prov) {
+                Some((_, b, c)) => {
                     recycled.push(*b);
                     *b = block;
                     *c = csum;
                 }
-                _ => vs.push((epoch, block, csum)),
+                None => vs.push((prov, block, csum)),
             }
         }
         for (&(block, _), (_, data)) in placed.iter().zip(pages) {
@@ -731,7 +928,7 @@ impl ObjectStore {
             self.page_cache.remove(&b);
             self.free_blocks.push(b);
         }
-        self.dirty.objects.insert(oid.0);
+        self.draft_mut().objects.insert(oid.0);
         Ok(())
     }
 
@@ -749,15 +946,23 @@ impl ObjectStore {
         }
         let total: u64 = items.iter().map(|(_, m)| m.len() as u64).sum();
         self.charge.encode(total);
-        let epoch = self.cur_epoch;
+        let prov = prov_tag(self.staging);
         for (oid, meta) in items {
             let o = self.objects.get_mut(&oid.0).ok_or(StoreError::NoSuchObject(*oid))?;
-            match o.meta.last_mut() {
-                Some((e, m)) if *e == epoch => *m = meta.clone(),
-                Some((_, m)) if m.as_slice() == meta.as_slice() => continue,
-                _ => o.meta.push((epoch, meta.clone())),
+            if let Some((_, m)) = o.meta.iter_mut().rev().find(|(e, _)| *e == prov) {
+                *m = meta.clone();
+            } else if o
+                .meta
+                .iter()
+                .rev()
+                .find(|(e, _)| *e < PROV_BASE)
+                .is_some_and(|(_, m)| m.as_slice() == meta.as_slice())
+            {
+                continue;
+            } else {
+                o.meta.push((prov, meta.clone()));
             }
-            self.dirty.objects.insert(oid.0);
+            self.draft_mut().objects.insert(oid.0);
         }
         Ok(())
     }
@@ -766,38 +971,50 @@ impl ObjectStore {
     // Commit
     // ------------------------------------------------------------------
 
-    /// Commits the current epoch: appends the metadata record (ordered
-    /// after all the epoch's data writes) and opens the next epoch.
+    /// Commits the staging group's draft (see
+    /// [`commit_for`](Self::commit_for)).
+    pub fn commit(&mut self) -> Result<CommitInfo> {
+        self.commit_for(self.staging)
+    }
+
+    /// Commits `group`'s in-flight epoch: appends the metadata record
+    /// (ordered after that draft's data writes — and only that draft's,
+    /// so one group's commit never serializes behind another's flush) and
+    /// retags the draft's staged state with the epoch number, assigned
+    /// here so commit order equals log order across groups.
     ///
     /// Does not advance the caller's clock — checkpoint flushing is
     /// concurrent with execution (§6); `durable_at` reports when the
     /// checkpoint is safe.
-    pub fn commit(&mut self) -> Result<CommitInfo> {
+    pub fn commit_for(&mut self, group: u64) -> Result<CommitInfo> {
         let epoch = self.cur_epoch;
-        // Serialize the dirty set.
+        let prov = prov_tag(group);
+        let draft = self.drafts.get(&group).cloned().unwrap_or_default();
+        // Serialize the draft's dirty set, picking out the entries staged
+        // under this group's provenance tag.
         let mut body = Encoder::new();
-        body.u32(self.dirty.objects.len() as u32);
-        for &oid in &self.dirty.objects {
-            let o = self.objects.get(&oid).expect("dirty object exists");
+        body.u32(draft.objects.len() as u32);
+        for &oid in &draft.objects {
+            let o = self.objects.get(&oid).expect("draft object exists");
             body.u64(oid);
             body.u16(o.kind_raw);
             body.u64(o.size);
-            body.bool(o.deleted_epoch == Some(epoch));
-            match o.meta.last() {
-                Some((e, m)) if *e == epoch => {
+            body.bool(o.deleted_epoch == Some(prov));
+            match o.meta.iter().rev().find(|(e, _)| *e == prov) {
+                Some((_, m)) => {
                     body.bool(true);
                     body.bytes(m);
                 }
-                _ => body.bool(false),
+                None => body.bool(false),
             }
-            let pages: Vec<(u64, u64, u64)> = o
+            let mut pages: Vec<(u64, u64, u64)> = o
                 .versions
                 .iter()
-                .filter_map(|(&pi, vs)| match vs.last() {
-                    Some(&(e, b, c)) if e == epoch => Some((pi, b, c)),
-                    _ => None,
+                .filter_map(|(&pi, vs)| {
+                    vs.iter().rev().find(|(e, _, _)| *e == prov).map(|&(_, b, c)| (pi, b, c))
                 })
                 .collect();
+            pages.sort_unstable_by_key(|&(pi, _, _)| pi);
             body.u32(pages.len() as u32);
             for (pi, b, c) in pages {
                 body.u64(pi);
@@ -805,7 +1022,7 @@ impl ObjectStore {
                 body.u64(c);
             }
             match &o.journal {
-                Some(j) if o.created_epoch == epoch => {
+                Some(j) if o.created_epoch == prov => {
                     body.bool(true);
                     body.u32(j.blocks.len() as u32);
                     for &b in &j.blocks {
@@ -826,6 +1043,7 @@ impl ObjectStore {
         header.record(0x434b, RECORD_VERSION, |e| {
             e.u64(MAGIC);
             e.u64(epoch);
+            e.u64(group);
             e.u64(self.floor);
             e.u64(nblocks);
             e.u64(payload.len() as u64);
@@ -837,7 +1055,14 @@ impl ObjectStore {
         padded.resize(nblocks as usize * PAGE, 0);
 
         self.charge.encode(payload.len() as u64);
-        let barrier = Completion { done_at: self.dirty.max_completion };
+        // The barrier covers this draft's data writes plus the group's
+        // previous commit record: a group's records become durable in
+        // commit order, so recovery always sees a prefix of each group's
+        // epochs. Other groups' in-flight epochs do not gate this group's
+        // durability horizon — their records may land out of log order,
+        // which the hole-tolerant replay handles.
+        let chain = self.last_durable.get(&group).copied().unwrap_or(0);
+        let barrier = Completion { done_at: draft.max_completion.max(chain) };
         let durable = {
             let mut dev = self.dev.lock();
             // Payload first, then the header — the header is the commit
@@ -847,10 +1072,10 @@ impl ObjectStore {
             // retried: it rewrites the same log region.
             let c1 = dev
                 .write_after(self.meta_head + 1, &padded, barrier)
-                .map_err(StoreError::dev("commit-payload", None, epoch))?;
+                .map_err(StoreError::dev("commit-payload", None, epoch, group))?;
 
             dev.write_after(self.meta_head, &header_block, c1)
-                .map_err(StoreError::dev("commit-header", None, epoch))?
+                .map_err(StoreError::dev("commit-header", None, epoch, group))?
         };
         let trace = self.charge.trace();
         if trace.is_enabled() {
@@ -859,8 +1084,9 @@ impl ObjectStore {
                 "epoch.commit",
                 &[
                     ("epoch", epoch),
+                    ("group", group),
                     ("durable_at", durable.done_at),
-                    ("objects", self.dirty.objects.len() as u64),
+                    ("objects", draft.objects.len() as u64),
                     ("meta_bytes", (1 + nblocks) * PAGE as u64),
                 ],
             );
@@ -868,8 +1094,45 @@ impl ObjectStore {
         }
         self.meta_head += 1 + nblocks;
         self.epochs.push(epoch);
+        self.epoch_groups.insert(epoch, group);
+        self.last_durable.insert(group, durable.done_at);
         self.cur_epoch = epoch + 1;
-        self.dirty = DirtyState::default();
+        // Retag the draft's staged state with the real epoch number. The
+        // new epoch sorts above every committed entry and below every
+        // provenance tag, so a stable sort restores ascending order
+        // without disturbing other groups' staged entries.
+        for &oid in &draft.objects {
+            let o = self.objects.get_mut(&oid).expect("draft object exists");
+            if o.created_epoch == prov {
+                o.created_epoch = epoch;
+            }
+            if o.deleted_epoch == Some(prov) {
+                o.deleted_epoch = Some(epoch);
+            }
+            for vs in o.versions.values_mut() {
+                let mut hit = false;
+                for v in vs.iter_mut() {
+                    if v.0 == prov {
+                        v.0 = epoch;
+                        hit = true;
+                    }
+                }
+                if hit {
+                    vs.sort_by_key(|&(e, _, _)| e);
+                }
+            }
+            let mut hit = false;
+            for m in o.meta.iter_mut() {
+                if m.0 == prov {
+                    m.0 = epoch;
+                    hit = true;
+                }
+            }
+            if hit {
+                o.meta.sort_by_key(|&(e, _)| e);
+            }
+        }
+        self.drafts.remove(&group);
         if !self.staged_free.is_empty() {
             // Blocks reclaimed by drop_oldest become reusable only once
             // this commit record (which carries the new floor) is durable.
@@ -1014,6 +1277,7 @@ impl ObjectStore {
             op,
             oid: Some(oid),
             epoch,
+            group: 0,
             source: DeviceError::Io { lba: block, transient: false },
         })
     }
@@ -1037,7 +1301,7 @@ impl ObjectStore {
         self.cache_misses += 1;
         let data = {
             let mut dev = self.dev.lock();
-            dev.read(block, 1).map_err(StoreError::dev("read-page", Some(oid), epoch))?
+            dev.read(block, 1).map_err(StoreError::dev("read-page", Some(oid), epoch, 0))?
         };
         self.verify_page("verify-page", oid, epoch, block, csum, &data)?;
         let page = self.arena.alloc(data.as_slice().try_into().expect("one block"));
@@ -1099,7 +1363,7 @@ impl ObjectStore {
                 .dev
                 .lock()
                 .read_from(run[0].1, run.len() as u64, issue_at)
-                .map_err(StoreError::dev("read-pages-bulk", Some(oid), epoch))?;
+                .map_err(StoreError::dev("read-pages-bulk", Some(oid), epoch, 0))?;
             done = done.max(d);
             for (k, &(pi, block, csum)) in run.iter().enumerate() {
                 let bytes = &data[k * PAGE..(k + 1) * PAGE];
@@ -1151,7 +1415,7 @@ impl ObjectStore {
         self.cache_misses += 1;
         let data = {
             let mut dev = self.dev.lock();
-            dev.read(block, 1).map_err(StoreError::dev("read-page-pinned", Some(oid), last))?
+            dev.read(block, 1).map_err(StoreError::dev("read-page-pinned", Some(oid), last, 0))?
         };
         self.verify_page("verify-page", oid, last, block, csum, &data)?;
         let page = self.arena.alloc(data.as_slice().try_into().expect("one block"));
@@ -1176,6 +1440,7 @@ impl ObjectStore {
             current_epoch: self.cur_epoch,
             floor: self.floor,
             objects: self.objects.values().filter(|o| o.deleted_epoch.is_none()).count() as u64,
+            open_drafts: self.drafts.len() as u64,
         }
     }
 
@@ -1201,7 +1466,7 @@ impl ObjectStore {
         for (oid, epoch, block, csum) in &plan {
             let data = {
                 let mut dev = self.dev.lock();
-                dev.read(*block, 1).map_err(StoreError::dev("scrub", Some(Oid(*oid)), *epoch))?
+                dev.read(*block, 1).map_err(StoreError::dev("scrub", Some(Oid(*oid)), *epoch, 0))?
             };
             self.verify_page("scrub", Oid(*oid), *epoch, *block, *csum, &data)?;
         }
@@ -1230,6 +1495,7 @@ impl ObjectStore {
             return Err(StoreError::NoSuchEpoch(0));
         }
         let dropped = self.epochs.remove(0);
+        self.epoch_groups.remove(&dropped);
         let floor = self.epochs[0];
         self.floor = floor;
         let freed = self.prune_below_floor(floor);
@@ -1276,37 +1542,47 @@ impl ObjectStore {
         freed
     }
 
-    /// Aborts the in-progress epoch: every uncommitted mutation (page
-    /// versions, metadata, creations, deletions, fresh journals) is
-    /// discarded and its blocks returned to the free list. The epoch
-    /// number is not consumed — the next commit reuses it.
+    /// Aborts the staging group's in-flight epoch (see
+    /// [`abort_epoch_for`](Self::abort_epoch_for)).
+    pub fn abort_epoch(&mut self) {
+        self.abort_epoch_for(self.staging);
+    }
+
+    /// Aborts `group`'s in-flight epoch: every mutation staged in its
+    /// draft (page versions, metadata, creations, deletions, fresh
+    /// journals) is discarded and its blocks returned to the free list.
+    /// Other groups' drafts are untouched, and no epoch number is
+    /// consumed — numbers are only assigned at commit.
     ///
     /// This is the checkpoint pipeline's rollback: a checkpoint that
     /// failed after retries must leave the store exactly as the last
-    /// commit left it, so the next checkpoint starts clean.
-    pub fn abort_epoch(&mut self) {
-        let epoch = self.cur_epoch;
+    /// commit left it, so the group's next checkpoint starts clean.
+    pub fn abort_epoch_for(&mut self, group: u64) {
+        let prov = prov_tag(group);
         let trace = self.charge.trace();
         if trace.is_enabled() {
-            trace.instant("objstore", "epoch.abort", &[("epoch", epoch)]);
+            trace.instant("objstore", "epoch.abort", &[("epoch", self.cur_epoch), ("group", group)]);
         }
-        let dirty = std::mem::take(&mut self.dirty);
+        let Some(dirty) = self.drafts.remove(&group) else { return };
         let mut freed = Vec::new();
         for oid in dirty.objects {
             let created_now = match self.objects.get_mut(&oid) {
                 None => continue,
-                Some(o) if o.created_epoch == epoch => true,
+                Some(o) if o.created_epoch == prov => true,
                 Some(o) => {
                     for vs in o.versions.values_mut() {
-                        while matches!(vs.last(), Some(&(e, _, _)) if e == epoch) {
-                            freed.push(vs.pop().expect("just matched").1);
-                        }
+                        vs.retain(|&(e, b, _)| {
+                            if e == prov {
+                                freed.push(b);
+                                false
+                            } else {
+                                true
+                            }
+                        });
                     }
                     o.versions.retain(|_, vs| !vs.is_empty());
-                    while matches!(o.meta.last(), Some((e, _)) if *e == epoch) {
-                        o.meta.pop();
-                    }
-                    if o.deleted_epoch == Some(epoch) {
+                    o.meta.retain(|(e, _)| *e != prov);
+                    if o.deleted_epoch == Some(prov) {
                         o.deleted_epoch = None;
                     }
                     false
@@ -1345,7 +1621,7 @@ impl ObjectStore {
     pub(crate) fn install_journal(&mut self, oid: Oid, journal: Journal) -> Result<()> {
         let o = self.objects.get_mut(&oid.0).ok_or(StoreError::NoSuchObject(oid))?;
         o.journal = Some(journal);
-        self.dirty.objects.insert(oid.0);
+        self.draft_mut().objects.insert(oid.0);
         Ok(())
     }
 
@@ -1665,6 +1941,106 @@ mod tests {
         }
         assert_eq!(s.read_page(oid, 0, s.last_epoch().unwrap()).unwrap(), page(2));
         assert_eq!(s.read_page(oid, 2, s.last_epoch().unwrap()).unwrap(), page(4));
+    }
+
+    #[test]
+    fn concurrent_drafts_commit_independently() {
+        let mut s = fresh();
+        s.stage_for(1);
+        let a = s.alloc_oid();
+        s.create_object(a, ObjectKind::Memory).unwrap();
+        s.write_page(a, 0, &page(1)).unwrap();
+        s.stage_for(2);
+        let b = s.alloc_oid();
+        s.create_object(b, ObjectKind::Memory).unwrap();
+        s.write_page(b, 0, &page(2)).unwrap();
+        assert_eq!(s.open_drafts(), 2, "two epochs concurrently in flight");
+        // Group 2 commits first; group 1's draft stays open and invisible.
+        let c2 = s.commit_for(2).unwrap();
+        assert_eq!(c2.epoch, 1, "epoch numbers assigned in commit order");
+        assert_eq!(s.open_drafts(), 1);
+        assert_eq!(s.read_page(b, 0, 1).unwrap(), page(2));
+        assert!(s.read_page(a, 0, 1).is_err(), "group 1's staged page not visible");
+        assert!(!s.objects_at(1).unwrap().contains(&a), "staged object not listed");
+        let c1 = s.commit_for(1).unwrap();
+        assert_eq!(c1.epoch, 2);
+        assert_eq!(s.read_page(a, 0, 2).unwrap(), page(1));
+        assert_eq!(s.epochs_for(2), vec![1]);
+        assert_eq!(s.epochs_for(1), vec![2]);
+        assert_eq!(s.group_of_epoch(1), 2);
+        s.barrier(c1);
+        s.barrier(c2);
+    }
+
+    #[test]
+    fn abort_one_group_leaves_other_drafts_intact() {
+        let mut s = fresh();
+        s.stage_for(1);
+        let a = s.alloc_oid();
+        s.create_object(a, ObjectKind::Memory).unwrap();
+        s.write_page(a, 0, &page(1)).unwrap();
+        s.stage_for(2);
+        let b = s.alloc_oid();
+        s.create_object(b, ObjectKind::Memory).unwrap();
+        s.write_page(b, 0, &page(2)).unwrap();
+        s.abort_epoch_for(1);
+        assert!(!s.objects.contains_key(&a.0), "aborted group's object gone");
+        assert_eq!(s.open_drafts(), 1, "group 2's draft survives group 1's rollback");
+        let c = s.commit_for(2).unwrap();
+        assert_eq!(c.epoch, 1, "no epoch number consumed by the abort");
+        assert_eq!(s.read_page(b, 0, 1).unwrap(), page(2));
+        s.barrier(c);
+    }
+
+    #[test]
+    fn commit_barrier_is_per_draft() {
+        let mut s = fresh();
+        // Group 1 has a flush outstanding far in the future.
+        s.stage_for(1);
+        s.draft_mut().max_completion = 1_000_000_000_000;
+        s.stage_for(2);
+        let b = s.alloc_oid();
+        s.create_object(b, ObjectKind::Memory).unwrap();
+        s.write_page(b, 0, &page(2)).unwrap();
+        assert_eq!(s.inflight_drafts(0), 2);
+        let c2 = s.commit_for(2).unwrap();
+        assert!(
+            c2.durable_at < 1_000_000_000_000,
+            "group 2's durability must not fence behind group 1's flush"
+        );
+        let c1 = s.commit_for(1).unwrap();
+        assert!(c1.durable_at >= 1_000_000_000_000, "own writes still fence own commit");
+        assert!(s.durable_floor(2) < s.durable_floor(1));
+        s.barrier(c2);
+    }
+
+    #[test]
+    fn group_attribution_survives_crash() {
+        let mut s = fresh();
+        s.stage_for(3);
+        let a = s.alloc_oid();
+        s.create_object(a, ObjectKind::Memory).unwrap();
+        s.write_page(a, 0, &page(7)).unwrap();
+        let c = s.commit_for(3).unwrap();
+        s.barrier(c);
+        let s = s.crash_and_recover().unwrap();
+        assert_eq!(s.group_of_epoch(1), 3, "v4 records persist the committing group");
+        assert_eq!(s.epochs_for(3), vec![1]);
+    }
+
+    #[test]
+    fn device_errors_carry_the_staging_group() {
+        let mut s = fresh();
+        s.stage_for(5);
+        let missing = Oid(999);
+        // Force the cheap path: write to a full store would need a fault
+        // plan, so check the builder directly through a real op instead.
+        assert_eq!(s.write_page(missing, 0, &page(1)), Err(StoreError::NoSuchObject(missing)));
+        let err = StoreError::dev("write-page", Some(missing), 7, 5)(
+            aurora_storage::device::DeviceError::Io { lba: 3, transient: true },
+        );
+        assert!(matches!(err, StoreError::Device { group: 5, epoch: 7, .. }));
+        assert!(err.to_string().contains("group 5"), "{err}");
     }
 
     #[test]

@@ -24,9 +24,17 @@ pub struct QuiesceReport {
 }
 
 impl Kernel {
-    /// Quiesces every thread of `pids` at the kernel boundary. Charges
-    /// IPI and drain costs to the clock.
+    /// Quiesces every thread of `pids` at the kernel boundary, with the
+    /// window unattributed to any consistency group (group 0).
     pub fn quiesce(&mut self, pids: &[Pid]) -> Result<QuiesceReport> {
+        self.quiesce_group(pids, 0)
+    }
+
+    /// Quiesces every thread of `pids` on behalf of consistency `group`.
+    /// Charges IPI and drain costs to the clock; only the named group's
+    /// processes stop — the rest of the machine keeps running, which is
+    /// what lets another group's flush overlap this group's stop window.
+    pub fn quiesce_group(&mut self, pids: &[Pid], group: u64) -> Result<QuiesceReport> {
         let trace = self.charge.trace().clone();
         // Window width is measured off the virtual clock directly so the
         // gauges exist (and agree) whether or not tracing is armed.
@@ -70,6 +78,7 @@ impl Kernel {
                 start,
                 dur,
                 &[
+                    ("group", group),
                     ("threads", report.threads),
                     ("drained", report.drained_syscalls),
                     ("restarted", report.restarted_syscalls),
@@ -78,7 +87,9 @@ impl Kernel {
             trace.hist("posix.quiesce_ns", dur);
         }
         self.quiesce_windows += 1;
-        self.last_quiesce_width_ns = self.charge.clock().now() - clock_start;
+        let width = self.charge.clock().now() - clock_start;
+        self.last_quiesce_width_ns = width;
+        self.quiesce_width_by_group.insert(group, width);
         Ok(report)
     }
 
@@ -136,6 +147,28 @@ mod tests {
         let t = &k.threads[&tid];
         assert_eq!(t.regs.pc, 0x400_1000, "PC rewound past the syscall insn");
         assert_eq!(t.restarts, 1);
+    }
+
+    #[test]
+    fn per_group_windows_are_tracked_independently() {
+        let mut k = Kernel::boot();
+        let p1 = k.spawn("a");
+        let p2 = k.spawn("b");
+        k.add_thread(p2).unwrap();
+        k.quiesce_group(&[p1], 1).unwrap();
+        k.resume(&[p1]).unwrap();
+        k.quiesce_group(&[p2], 2).unwrap();
+        assert_eq!(k.quiesce_windows, 2);
+        let w1 = k.quiesce_width_by_group[&1];
+        let w2 = k.quiesce_width_by_group[&2];
+        assert!(w1 > 0 && w2 > 0);
+        assert!(w2 > w1, "two threads drain slower than one");
+        assert_eq!(k.last_quiesce_width_ns, w2);
+        // Group 1's processes kept running through group 2's window.
+        use crate::process::ThreadState;
+        for tid in &k.proc(p1).unwrap().threads.clone() {
+            assert_eq!(k.threads[tid].state, ThreadState::User);
+        }
     }
 
     #[test]

@@ -224,8 +224,13 @@ impl FaultyDevice {
             // Everything still in flight is lost with the power.
             self.inner.crash();
             let tear = st.plan.tear_bytes.map(|t| t.clamp(1, data.len().saturating_sub(1)));
+            // An ordered write whose barrier has not completed never
+            // started transferring — power loss drops it whole. Tearing
+            // it would put bytes on the medium before its predecessor,
+            // which the write_after contract rules out.
+            let barrier_open = after.is_some_and(|a| a.done_at > self.inner.clock().now());
             let outcome = match tear {
-                Some(tb) if data.len() > 1 => {
+                Some(tb) if data.len() > 1 && !barrier_open => {
                     // The torn prefix reached the platter before the cut:
                     // leading bytes intact, the rest of the torn block is
                     // garbage, later blocks of the write are dropped.

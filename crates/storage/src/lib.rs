@@ -36,6 +36,21 @@ pub fn testbed_array(clock: &Clock, per_device_bytes: u64) -> SharedDevice {
     share(Raid0::new(devices, 64 * 1024))
 }
 
+/// A TLC-NAND variant of the testbed: four commodity flash devices
+/// ([`NvmeParams::tlc_nand`]) striped at 64 KiB. Used by the group
+/// scaling benchmarks, where the latency-bound durability point (rather
+/// than Optane's microsecond commits) is what a checkpoint scheduler
+/// has to hide.
+pub fn nand_testbed_array(clock: &Clock, per_device_bytes: u64) -> SharedDevice {
+    let devices: Vec<Box<dyn BlockDevice + Send>> = (0..4)
+        .map(|_| {
+            Box::new(NvmeDevice::new(clock.clone(), NvmeParams::tlc_nand(), per_device_bytes))
+                as Box<dyn BlockDevice + Send>
+        })
+        .collect();
+    share(Raid0::new(devices, 64 * 1024))
+}
+
 /// Like [`testbed_array`], but wrapped in a [`FaultyDevice`] armed with
 /// `plan`. The handle arms/disarms faults and reads the write trace.
 pub fn faulty_testbed_array(
