@@ -4,6 +4,7 @@
 //! and `bench_all` both dispatch through [`all`].
 
 pub mod ablations;
+pub mod degraded_mode;
 pub mod fig3_filebench;
 pub mod fig4_memcached_peak;
 pub mod fig5_memcached_pegged;
@@ -34,5 +35,6 @@ pub fn all() -> Vec<Entry> {
         ("table7_aurora_vs_criu", table7_aurora_vs_criu::run),
         ("ablations", ablations::run),
         ("group_scaling", group_scaling::run),
+        ("degraded_mode", degraded_mode::run),
     ]
 }

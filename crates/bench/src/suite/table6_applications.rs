@@ -42,7 +42,7 @@ fn build_sls(profile: &AppProfile, ramdisk: bool) -> (Sls, aurora_core::GroupId,
                     as Box<dyn BlockDevice + Send>
             })
             .collect();
-        share(Raid0::new(devices, 64 * 1024))
+        share(Raid0::new(devices, 64 * 1024).expect("ramdisk raid config is valid"))
     } else {
         testbed_array(&clock, 1 << 30)
     };

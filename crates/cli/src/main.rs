@@ -196,12 +196,13 @@ fn watch(period: u64, steps: u64) {
     let checker = InvariantChecker::arm(&trace);
     let sampler = w.enable_sampling(period);
     println!("sls watch — one line per metrics sample (virtual-time period {})", fmt_ns(period));
-    const COLS: [&str; 5] = [
+    const COLS: [&str; 6] = [
         "store.current_epoch",
         "frames.resident",
         "store.cache_pages",
         "pipeline.checkpoints",
         "dev.bytes_written",
+        "device.health.worst",
     ];
     println!(
         "  {:>10}  {}",

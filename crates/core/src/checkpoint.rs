@@ -246,7 +246,13 @@ impl Sls {
     /// periodic driver). The first checkpoint is full; later ones are
     /// incremental.
     pub fn checkpoint_now(&mut self, gid: GroupId) -> Result<CheckpointStats, SlsError> {
+        if let Some(stats) = self.breaker_short_circuit(gid) {
+            self.last_stats = Some(stats.clone());
+            self.last_stats_by_group.insert(gid.0, stats.clone());
+            return Ok(stats);
+        }
         let stats = crate::pipeline::CheckpointPipeline::new(self, gid)?.run()?;
+        self.note_checkpoint_outcome(&stats);
         self.checkpoints_taken += 1;
         self.last_stats = Some(stats.clone());
         self.last_stats_by_group.insert(gid.0, stats.clone());

@@ -25,11 +25,17 @@ pub struct SchedulerPolicy {
     /// stack's useful queue depth (the default suits the 4-way RAID 0
     /// testbed).
     pub max_inflight_flushes: u64,
+    /// The flush cap while the device stack reports a `Degraded` (or
+    /// worse) member: a degraded mirror is resilvering or limping, so
+    /// the scheduler throttles to one draft at a time instead of
+    /// saturating a queue the device can no longer drain. Full rate
+    /// resumes automatically when the health report recovers.
+    pub degraded_max_inflight: u64,
 }
 
 impl Default for SchedulerPolicy {
     fn default() -> Self {
-        Self { max_inflight_flushes: 4 }
+        Self { max_inflight_flushes: 4, degraded_max_inflight: 1 }
     }
 }
 
@@ -72,8 +78,18 @@ impl CheckpointScheduler {
                         }
                     }
                     Phase::Flush => {
+                        // Device-health feedback: shrink the flush window
+                        // while a mirror is degraded, restore it on
+                        // recovery. Re-read each round — health changes
+                        // mid-schedule (a storm mid-checkpoint) take
+                        // effect on the very next flush admission.
+                        let cap = if sls.device_degraded() {
+                            self.policy.degraded_max_inflight.max(1)
+                        } else {
+                            self.policy.max_inflight_flushes
+                        };
                         let inflight = sls.store.lock().inflight_drafts(clock.now());
-                        if inflight >= self.policy.max_inflight_flushes {
+                        if inflight >= cap {
                             deferred_flush.get_or_insert(i);
                         } else {
                             runs[i].step(sls)?;

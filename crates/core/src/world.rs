@@ -7,7 +7,10 @@ use aurora_posix::{Kernel, Pid};
 use aurora_sim::cost::Charge;
 use aurora_sim::{Clock, CostModel};
 use aurora_storage::faulty::{FaultHandle, FaultPlan};
-use aurora_storage::{faulty_testbed_array, nand_testbed_array, testbed_array};
+use aurora_storage::raid1::MirrorHandle;
+use aurora_storage::{
+    faulty_testbed_array, mirrored_testbed_array, nand_testbed_array, testbed_array,
+};
 use aurora_vm::{Prot, PAGE_SIZE};
 
 /// A simulated machine running the Aurora single level store.
@@ -61,6 +64,21 @@ impl World {
         let store = ObjectStore::format(dev, Charge::new(clock.clone(), model), 64 * 1024)
             .expect("format fresh store");
         (Self { sls: Sls::new(kernel, store), clock }, handle)
+    }
+
+    /// Boots the degraded-mode testbed: a two-way mirror whose members
+    /// are each a fault-injectable two-way stripe, `bytes` per leaf
+    /// device (logical capacity `2 * bytes`). Returns the machine, the
+    /// mirror control handle (fail/revive/rebuild/scrub), and one fault
+    /// handle per mirror for storm injection.
+    pub fn with_mirrored_store(bytes: u64) -> (Self, MirrorHandle, Vec<FaultHandle>) {
+        let clock = Clock::new();
+        let model = CostModel::default();
+        let kernel = Kernel::new(clock.clone(), model.clone());
+        let (dev, mirror, faults) = mirrored_testbed_array(&clock, bytes);
+        let store = ObjectStore::format(dev, Charge::new(clock.clone(), model), 64 * 1024)
+            .expect("format fresh store");
+        (Self { sls: Sls::new(kernel, store), clock }, mirror, faults)
     }
 
     /// Turns on tracing for the whole machine, stamping every event with

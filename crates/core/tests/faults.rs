@@ -4,7 +4,7 @@
 //! retries are exhausted.
 
 use aurora_core::world::World;
-use aurora_core::{AuroraApi, RestoreMode, SlsOptions};
+use aurora_core::{AuroraApi, CheckpointConfig, RestoreMode, RetryPolicy, SlsOptions};
 use aurora_storage::faulty::FaultPlan;
 
 const STORE_BYTES: u64 = 1 << 28;
@@ -126,6 +126,130 @@ fn exhausted_commit_retries_abort_without_consuming_an_epoch() {
     let mut buf = [0u8; 8];
     w.sls.kernel.mem_read(r.pids[0], addr + 4096, &mut buf).unwrap();
     assert_eq!(buf, marker, "re-dirtied page content must reach the next epoch");
+}
+
+/// A transient-EIO storm wider than the retry budget produces a clean
+/// `StageFailure` abort with rollback — asserted through the trace: the
+/// budget's worth of `pipeline.retry` instants followed by one
+/// `pipeline.abort`, and the live world untouched.
+#[test]
+fn storm_wider_than_retry_budget_aborts_cleanly() {
+    let (mut w, handle) = World::with_faulty_store(STORE_BYTES, FaultPlan::none());
+    let trace = w.enable_tracing();
+    w.sls.set_checkpoint_config(CheckpointConfig {
+        retry: RetryPolicy { max_attempts: 8, retry_budget: 2, ..RetryPolicy::default() },
+        ..CheckpointConfig::default()
+    });
+    let pid = w.spawn_counter_app();
+    w.bump_counter(pid).unwrap();
+    let gid = w.sls.attach(pid, SlsOptions::default()).unwrap();
+
+    // A storm wider than the budget: 2 retries allowed, every attempt
+    // in a 16-write window fails.
+    handle.set_plan(FaultPlan::eio_storm(handle.writes_seen(), 16));
+    let failed = w.sls.sls_checkpoint(gid).unwrap();
+    let f = failed.failure.as_ref().expect("budget exhaustion must abort");
+    assert_eq!(f.stage, "flush");
+    assert_eq!(f.attempts, 3, "first try + the 2 budgeted retries");
+    assert_eq!(failed.retries, 2, "exactly the budget was spent");
+
+    let evs = trace.events();
+    let retries = evs.iter().filter(|e| e.name == "pipeline.retry").count();
+    let aborts = evs.iter().filter(|e| e.name == "pipeline.abort").count();
+    assert_eq!(retries, 2, "one retry span per budgeted retry");
+    assert_eq!(aborts, 1, "one clean abort");
+
+    // Rollback left the live world running; recovery commits the state.
+    assert_eq!(w.read_counter(pid).unwrap(), 1);
+    handle.clear_faults();
+    let cp = w.sls.sls_checkpoint(gid).unwrap();
+    assert!(cp.committed());
+    let r = w.sls.sls_restore(gid, None, RestoreMode::Full).unwrap();
+    assert_eq!(w.read_counter(r.pids[0]).unwrap(), 1);
+}
+
+/// The same storm narrower than the budget is absorbed: the checkpoint
+/// commits, spending one retry per storm write it hit — visible as
+/// `pipeline.retry` instants with no abort.
+#[test]
+fn storm_narrower_than_retry_budget_is_absorbed() {
+    let (mut w, handle) = World::with_faulty_store(STORE_BYTES, FaultPlan::none());
+    let trace = w.enable_tracing();
+    w.sls.set_checkpoint_config(CheckpointConfig {
+        retry: RetryPolicy { max_attempts: 8, retry_budget: 6, ..RetryPolicy::default() },
+        ..CheckpointConfig::default()
+    });
+    let pid = w.spawn_counter_app();
+    w.bump_counter(pid).unwrap();
+    let gid = w.sls.attach(pid, SlsOptions::default()).unwrap();
+
+    // Three consecutive failed writes, well inside the budget of 6.
+    handle.set_plan(FaultPlan::eio_storm(handle.writes_seen(), 3));
+    let cp = w.sls.sls_checkpoint(gid).unwrap();
+    assert!(cp.committed(), "a storm narrower than the budget must not abort");
+    assert_eq!(cp.failure, None);
+    assert_eq!(cp.retries, 3, "one retry per storm write");
+
+    let evs = trace.events();
+    assert_eq!(evs.iter().filter(|e| e.name == "pipeline.retry").count(), 3);
+    assert_eq!(evs.iter().filter(|e| e.name == "pipeline.abort").count(), 0);
+
+    let r = w.sls.sls_restore(gid, None, RestoreMode::Full).unwrap();
+    assert_eq!(w.read_counter(r.pids[0]).unwrap(), 1);
+}
+
+/// Jittered backoff stays deterministic per seed and within the
+/// configured envelope: two identical runs charge identical backoffs,
+/// and every jittered backoff lands inside `[1-frac, 1+frac]` of its
+/// exponential base.
+#[test]
+fn jittered_backoff_is_deterministic_and_bounded() {
+    let run = |seed: u64| {
+        let (mut w, handle) = World::with_faulty_store(STORE_BYTES, FaultPlan::none());
+        let trace = w.enable_tracing();
+        w.sls.set_checkpoint_config(CheckpointConfig {
+            retry: RetryPolicy {
+                jitter_frac: 0.25,
+                jitter_seed: seed,
+                ..RetryPolicy::default()
+            },
+            ..CheckpointConfig::default()
+        });
+        let pid = w.spawn_counter_app();
+        w.bump_counter(pid).unwrap();
+        let gid = w.sls.attach(pid, SlsOptions::default()).unwrap();
+        let mut plan = FaultPlan::none();
+        plan.transient_writes.insert(handle.writes_seen());
+        plan.transient_writes.insert(handle.writes_seen() + 1);
+        handle.set_plan(plan);
+        let cp = w.sls.sls_checkpoint(gid).unwrap();
+        assert!(cp.committed());
+        trace
+            .events()
+            .iter()
+            .filter(|e| e.name == "pipeline.retry")
+            .map(|e| {
+                let attempt = e.args.iter().find(|(k, _)| *k == "attempt").unwrap().1;
+                let backoff = e.args.iter().find(|(k, _)| *k == "backoff_ns").unwrap().1;
+                (attempt, backoff)
+            })
+            .collect::<Vec<_>>()
+    };
+    let a = run(7);
+    let b = run(7);
+    assert_eq!(a, b, "same jitter seed, same backoffs");
+    assert!(!a.is_empty());
+    for &(attempt, backoff) in &a {
+        let base = 50_000u64 << (attempt - 1);
+        let lo = (base as f64 * 0.75) as u64;
+        let hi = (base as f64 * 1.25) as u64;
+        assert!(
+            (lo..=hi).contains(&backoff),
+            "backoff {backoff} outside [{lo}, {hi}] for attempt {attempt}"
+        );
+    }
+    let c = run(8);
+    assert_ne!(a, c, "different seed, different jitter");
 }
 
 /// Back-to-back failed checkpoints don't compound: each aborts cleanly,

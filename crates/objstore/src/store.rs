@@ -704,6 +704,17 @@ impl ObjectStore {
         &self.dev
     }
 
+    /// The device stack's aggregated health report: per-member states
+    /// and failover/rebuild counters for a mirrored array, the default
+    /// (healthy, no members) otherwise. Health transitions themselves
+    /// surface as structured [`StoreError::Device`] values — notably
+    /// `NoHealthyMirror` when redundancy is exhausted — so callers can
+    /// distinguish "mirror limping" (this report) from "data at risk"
+    /// (the error).
+    pub fn device_health(&self) -> aurora_storage::HealthReport {
+        self.dev.lock().health_report()
+    }
+
     /// The cost accountant.
     pub fn charge(&self) -> &Charge {
         &self.charge

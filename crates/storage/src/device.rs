@@ -32,6 +32,19 @@ pub enum DeviceError {
         /// itself failed.
         transient: bool,
     },
+    /// An array was constructed from an invalid configuration (no
+    /// members, zero stripe, heterogeneous geometry).
+    BadConfig {
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// Every mirror of a redundant array failed the access — the
+    /// structured signal that redundancy is exhausted, distinct from a
+    /// single member's EIO.
+    NoHealthyMirror {
+        /// First block of the failed access.
+        lba: u64,
+    },
 }
 
 impl DeviceError {
@@ -53,6 +66,12 @@ impl fmt::Display for DeviceError {
             DeviceError::Io { lba, transient } => {
                 let kind = if *transient { "transient" } else { "fatal" };
                 write!(f, "{kind} i/o error at block {lba}")
+            }
+            DeviceError::BadConfig { reason } => {
+                write!(f, "invalid array configuration: {reason}")
+            }
+            DeviceError::NoHealthyMirror { lba } => {
+                write!(f, "no healthy mirror for block {lba}")
             }
         }
     }
@@ -150,6 +169,15 @@ pub trait BlockDevice {
     /// an empty queue so simple test doubles need not care.
     fn queue_stats(&self) -> QueueStats {
         QueueStats::default()
+    }
+
+    /// Aggregated member health for redundant arrays
+    /// ([`Raid1`](crate::raid1::Raid1)): per-member states plus failover
+    /// and rebuild counters. Wrapping layers forward to their inner
+    /// device; plain devices report the default (no members, healthy),
+    /// so non-mirrored stacks never appear degraded.
+    fn health_report(&self) -> crate::health::HealthReport {
+        crate::health::HealthReport::default()
     }
 }
 

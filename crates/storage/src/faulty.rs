@@ -42,6 +42,26 @@ pub struct FaultPlan {
     /// Per-write probability of flipping one random bit of the payload
     /// before it reaches the medium (silent corruption).
     pub bitflip_per_write: f64,
+    /// A correlated burst: every write with sequence number in
+    /// `[start, start + count)` fails with a transient EIO. Unlike
+    /// [`fail_writes_from`](FaultPlan::fail_writes_from) the storm has a
+    /// bounded width, so a sufficiently patient retry budget outlasts it.
+    pub eio_burst: Option<(u64, u64)>,
+    /// Latency inflation added to each write's completion time while the
+    /// storm is active (a congested or error-recovering channel).
+    pub latency_add_ns: u64,
+    /// Which writes (as `(start, count)` sequence numbers) the latency
+    /// inflation applies to. `None` with a non-zero
+    /// [`latency_add_ns`](FaultPlan::latency_add_ns) inflates every write.
+    pub latency_window: Option<(u64, u64)>,
+    /// Blocks whose medium has gone bad: any read covering one fails
+    /// with a fatal EIO until a successful write covers the block again
+    /// (the device remaps the sector on write).
+    pub bad_read_blocks: BTreeSet<u64>,
+    /// The device dies outright at this write: power to the channel is
+    /// lost (in-flight writes discarded) and every subsequent operation
+    /// — read or write — fails fatally until [`FaultHandle::revive`].
+    pub die_at_write: Option<u64>,
     /// Seed for the injection PRNG (bit-flip positions).
     pub seed: u64,
 }
@@ -60,6 +80,18 @@ impl FaultPlan {
     /// A power-cut at write `n`, tearing it after `bytes` bytes.
     pub fn torn_cut_at(n: u64, bytes: usize) -> Self {
         Self { cut_at_write: Some(n), tear_bytes: Some(bytes), ..Self::default() }
+    }
+
+    /// A correlated transient-EIO burst: writes `[from, from + n)` all
+    /// fail transiently, then the channel recovers.
+    pub fn eio_storm(from: u64, n: u64) -> Self {
+        Self { eio_burst: Some((from, n)), ..Self::default() }
+    }
+
+    /// A latency storm: writes `[from, from + n)` complete `add_ns`
+    /// later than the device model says (congested channel).
+    pub fn latency_storm(from: u64, n: u64, add_ns: u64) -> Self {
+        Self { latency_window: Some((from, n)), latency_add_ns: add_ns, ..Self::default() }
     }
 
     /// Derives a whole scenario from one seed: a cut point in
@@ -92,6 +124,8 @@ pub enum WriteOutcome {
     Dropped,
     /// Rejected with a transient EIO.
     Failed,
+    /// Rejected with a fatal EIO (dead device).
+    FatalFailed,
     /// Applied with one flipped bit.
     BitFlipped {
         /// Which payload bit was flipped.
@@ -118,6 +152,9 @@ struct FaultState {
     rng: DetRng,
     writes_seen: u64,
     cut_fired: bool,
+    /// The device is dead ([`FaultPlan::die_at_write`] fired or
+    /// [`FaultHandle::kill`]): every operation fails fatally.
+    dead: bool,
     trace: Vec<WriteRecord>,
 }
 
@@ -144,12 +181,17 @@ impl FaultHandle {
 
     /// Replaces the plan (keeps the sequence counter and trace), re-arming
     /// the injector mid-run. Clears a fired cut only if the new plan has
-    /// no cut — a fired cut stays fired while its plan stands.
+    /// no cut — a fired cut stays fired while its plan stands. A dead
+    /// device likewise stays dead unless the new plan has no
+    /// `die_at_write` (an explicit [`revive`](FaultHandle::revive)).
     pub fn set_plan(&self, plan: FaultPlan) {
         let mut st = self.0.lock();
         st.rng = DetRng::seed_from_u64(plan.seed);
         if plan.cut_at_write.is_none() {
             st.cut_fired = false;
+        }
+        if plan.die_at_write.is_none() {
+            st.dead = false;
         }
         st.plan = plan;
     }
@@ -157,6 +199,29 @@ impl FaultHandle {
     /// Disarms every fault; subsequent writes pass through.
     pub fn clear_faults(&self) {
         self.set_plan(FaultPlan::none());
+    }
+
+    /// Kills the device immediately: every subsequent read and write
+    /// fails with a fatal EIO until [`revive`](FaultHandle::revive). The
+    /// administrative version of [`FaultPlan::die_at_write`].
+    pub fn kill(&self) {
+        self.0.lock().dead = true;
+    }
+
+    /// Whether the device is currently dead.
+    pub fn is_dead(&self) -> bool {
+        self.0.lock().dead
+    }
+
+    /// Brings a dead device back (drive replaced / channel reseated),
+    /// clearing every armed fault. The medium keeps whatever was durable
+    /// before death; anything lost in flight stays lost.
+    pub fn revive(&self) {
+        let mut st = self.0.lock();
+        st.dead = false;
+        st.cut_fired = false;
+        st.plan = FaultPlan::none();
+        st.rng = DetRng::seed_from_u64(0);
     }
 }
 
@@ -177,6 +242,7 @@ impl FaultyDevice {
             plan,
             writes_seen: 0,
             cut_fired: false,
+            dead: false,
             trace: Vec::new(),
         }));
         let handle = FaultHandle(state.clone());
@@ -194,6 +260,7 @@ impl FaultyDevice {
             WriteOutcome::Torn { bytes } => ("fault.torn_write", bytes as u64),
             WriteOutcome::Dropped => ("fault.dropped_write", 0),
             WriteOutcome::Failed => ("fault.transient_eio", 0),
+            WriteOutcome::FatalFailed => ("fault.fatal_eio", 0),
             WriteOutcome::BitFlipped { bit } => ("fault.bitflip", bit),
         };
         self.trace.instant("storage", name, &[("seq", seq), ("lba", lba), ("detail", detail)]);
@@ -207,6 +274,23 @@ impl FaultyDevice {
         let mut st = self.state.lock();
         let seq = st.writes_seen;
         st.writes_seen += 1;
+
+        if st.dead {
+            st.trace.push(WriteRecord { seq, lba, nblocks, outcome: WriteOutcome::FatalFailed });
+            drop(st);
+            self.trace_outcome(seq, lba, WriteOutcome::FatalFailed);
+            return Err(DeviceError::Io { lba, transient: false });
+        }
+
+        if st.plan.die_at_write == Some(seq) {
+            st.dead = true;
+            // Power to the channel is lost: in-flight writes are gone.
+            self.inner.crash();
+            st.trace.push(WriteRecord { seq, lba, nblocks, outcome: WriteOutcome::FatalFailed });
+            drop(st);
+            self.trace_outcome(seq, lba, WriteOutcome::FatalFailed);
+            return Err(DeviceError::Io { lba, transient: false });
+        }
 
         if st.cut_fired {
             // Power already lost: the caller keeps issuing writes, the
@@ -250,12 +334,28 @@ impl FaultyDevice {
         }
 
         let failing = st.plan.transient_writes.contains(&seq)
-            || st.plan.fail_writes_from.is_some_and(|n| seq >= n);
+            || st.plan.fail_writes_from.is_some_and(|n| seq >= n)
+            || st.plan.eio_burst.is_some_and(|(from, n)| seq >= from && seq < from + n);
         if failing {
             st.trace.push(WriteRecord { seq, lba, nblocks, outcome: WriteOutcome::Failed });
             drop(st);
             self.trace_outcome(seq, lba, WriteOutcome::Failed);
             return Err(DeviceError::Io { lba, transient: true });
+        }
+
+        // The write will reach the medium: a successful write remaps any
+        // bad sectors it covers, and a latency storm delays its
+        // completion.
+        let extra_ns = match (st.plan.latency_add_ns, st.plan.latency_window) {
+            (0, _) => 0,
+            (ns, None) => ns,
+            (ns, Some((from, n))) if seq >= from && seq < from + n => ns,
+            _ => 0,
+        };
+        if !st.plan.bad_read_blocks.is_empty() {
+            for b in lba..lba + nblocks {
+                st.plan.bad_read_blocks.remove(&b);
+            }
         }
 
         if st.plan.bitflip_per_write > 0.0 {
@@ -273,19 +373,45 @@ impl FaultyDevice {
                 });
                 drop(st);
                 self.trace_outcome(seq, lba, WriteOutcome::BitFlipped { bit });
-                return match after {
-                    Some(a) => self.inner.write_after(lba, &corrupt, a),
-                    None => self.inner.write(lba, &corrupt),
+                let c = match after {
+                    Some(a) => self.inner.write_after(lba, &corrupt, a)?,
+                    None => self.inner.write(lba, &corrupt)?,
                 };
+                return Ok(Completion { done_at: c.done_at + extra_ns });
             }
         }
 
         st.trace.push(WriteRecord { seq, lba, nblocks, outcome: WriteOutcome::Applied });
         drop(st);
-        match after {
-            Some(a) => self.inner.write_after(lba, data, a),
-            None => self.inner.write(lba, data),
+        let c = match after {
+            Some(a) => self.inner.write_after(lba, data, a)?,
+            None => self.inner.write(lba, data)?,
+        };
+        if extra_ns > 0 && self.trace.is_enabled() {
+            self.trace.instant(
+                "storage",
+                "fault.latency",
+                &[("seq", seq), ("lba", lba), ("extra_ns", extra_ns)],
+            );
         }
+        Ok(Completion { done_at: c.done_at + extra_ns })
+    }
+
+    /// The common read path: a dead device fails everything fatally, and
+    /// a read covering a bad block fails fatally until a write remaps it.
+    fn inject_read(&self, lba: u64, nblocks: u64) -> Result<()> {
+        let st = self.state.lock();
+        if st.dead {
+            return Err(DeviceError::Io { lba, transient: false });
+        }
+        if let Some(&bad) = st.plan.bad_read_blocks.range(lba..lba + nblocks).next() {
+            drop(st);
+            if self.trace.is_enabled() {
+                self.trace.instant("storage", "fault.read_eio", &[("lba", bad)]);
+            }
+            return Err(DeviceError::Io { lba: bad, transient: false });
+        }
+        Ok(())
     }
 }
 
@@ -303,10 +429,12 @@ impl BlockDevice for FaultyDevice {
     }
 
     fn read(&mut self, lba: u64, nblocks: u64) -> Result<Vec<u8>> {
+        self.inject_read(lba, nblocks)?;
         self.inner.read(lba, nblocks)
     }
 
     fn read_from(&mut self, lba: u64, nblocks: u64, issue_at: u64) -> Result<(Vec<u8>, u64)> {
+        self.inject_read(lba, nblocks)?;
         self.inner.read_from(lba, nblocks, issue_at)
     }
 
@@ -345,6 +473,10 @@ impl BlockDevice for FaultyDevice {
 
     fn queue_stats(&self) -> crate::device::QueueStats {
         self.inner.queue_stats()
+    }
+
+    fn health_report(&self) -> crate::health::HealthReport {
+        self.inner.health_report()
     }
 }
 
@@ -451,6 +583,74 @@ mod tests {
         assert_eq!(faults, vec!["fault.dropped_write", "fault.dropped_write"]);
         // The applied write reached the leaf device and traced there.
         assert!(evs.iter().any(|e| e.name == "nvme.write"));
+    }
+
+    #[test]
+    fn eio_storm_has_a_bounded_width() {
+        let (mut d, _h) = faulty(FaultPlan::eio_storm(1, 3));
+        d.write(0, &vec![1u8; BLOCK_SIZE]).unwrap(); // seq 0
+        for _ in 0..3 {
+            let err = d.write(0, &vec![2u8; BLOCK_SIZE]).unwrap_err(); // seq 1..4
+            assert!(err.is_transient());
+        }
+        d.write(0, &vec![3u8; BLOCK_SIZE]).unwrap(); // seq 4: storm over
+        d.flush();
+        assert_eq!(d.read(0, 1).unwrap(), vec![3u8; BLOCK_SIZE]);
+    }
+
+    #[test]
+    fn latency_storm_inflates_completions() {
+        let base = {
+            let (mut d, _h) = faulty(FaultPlan::none());
+            d.write(0, &vec![1u8; BLOCK_SIZE]).unwrap().done_at
+        };
+        let (mut d, _h) = faulty(FaultPlan::latency_storm(0, 1, 1_000_000));
+        let slow = d.write(0, &vec![1u8; BLOCK_SIZE]).unwrap().done_at;
+        assert_eq!(slow, base + 1_000_000);
+        // Outside the window the device is back to nominal.
+        let next = d.write(1, &vec![1u8; BLOCK_SIZE]).unwrap();
+        assert!(next.done_at < slow + 1_000_000);
+    }
+
+    #[test]
+    fn bad_read_blocks_fail_fatally_until_rewritten() {
+        let plan = FaultPlan { bad_read_blocks: [3].into(), ..FaultPlan::none() };
+        let (mut d, _h) = faulty(plan);
+        let err = d.read(2, 4).unwrap_err();
+        assert!(matches!(err, DeviceError::Io { lba: 3, transient: false }));
+        // A write covering the block remaps the bad sector.
+        d.write(3, &vec![8u8; BLOCK_SIZE]).unwrap();
+        d.flush();
+        assert_eq!(d.read(3, 1).unwrap(), vec![8u8; BLOCK_SIZE]);
+    }
+
+    #[test]
+    fn dead_device_fails_everything_until_revived() {
+        let (mut d, h) = faulty(FaultPlan::none());
+        d.write(0, &vec![1u8; BLOCK_SIZE]).unwrap();
+        d.flush();
+        h.kill();
+        assert!(h.is_dead());
+        let err = d.write(1, &vec![2u8; BLOCK_SIZE]).unwrap_err();
+        assert!(!err.is_transient(), "dead device is not a retry candidate");
+        assert!(d.read(0, 1).is_err());
+        h.revive();
+        assert!(!h.is_dead());
+        assert_eq!(d.read(0, 1).unwrap(), vec![1u8; BLOCK_SIZE], "durable data survives death");
+    }
+
+    #[test]
+    fn die_at_write_kills_mid_stream_and_loses_inflight() {
+        let plan = FaultPlan { die_at_write: Some(1), ..FaultPlan::none() };
+        let (mut d, h) = faulty(plan);
+        d.write(0, &vec![1u8; BLOCK_SIZE]).unwrap(); // buffered, not durable
+        let err = d.write(1, &vec![2u8; BLOCK_SIZE]).unwrap_err(); // dies here
+        assert!(!err.is_transient());
+        assert!(h.is_dead());
+        h.revive();
+        assert_eq!(d.read(0, 1).unwrap(), vec![0u8; BLOCK_SIZE], "in-flight write lost at death");
+        let outcomes: Vec<_> = h.trace().iter().map(|r| r.outcome).collect();
+        assert_eq!(outcomes, vec![WriteOutcome::Applied, WriteOutcome::FatalFailed]);
     }
 
     #[test]

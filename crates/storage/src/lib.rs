@@ -11,16 +11,23 @@
 //!   latency/bandwidth model and honest crash semantics: a crash drops
 //!   every write that had not yet completed.
 //! * [`raid::Raid0`] — stripes several devices, the testbed's layout.
+//! * [`raid1::Raid1`] — mirrors two striped halves with per-member
+//!   [`health::DeviceHealth`] tracking, read failover, and online
+//!   scrub/rebuild — the degraded-mode layer.
 
 pub mod device;
 pub mod faulty;
+pub mod health;
 pub mod nvme;
 pub mod raid;
+pub mod raid1;
 
 pub use device::{share, BlockDevice, Completion, DeviceError, QueueStats, SharedDevice};
 pub use faulty::{FaultHandle, FaultPlan, FaultyDevice, WriteOutcome, WriteRecord};
+pub use health::{DeviceHealth, HealthPolicy, HealthReport, HealthState};
 pub use nvme::{NvmeDevice, NvmeParams};
 pub use raid::Raid0;
+pub use raid1::{MirrorHandle, Raid1, ScrubReport};
 
 use aurora_sim::Clock;
 
@@ -33,7 +40,7 @@ pub fn testbed_array(clock: &Clock, per_device_bytes: u64) -> SharedDevice {
                 as Box<dyn BlockDevice + Send>
         })
         .collect();
-    share(Raid0::new(devices, 64 * 1024))
+    share(Raid0::new(devices, 64 * 1024).expect("testbed raid config is valid"))
 }
 
 /// A TLC-NAND variant of the testbed: four commodity flash devices
@@ -48,7 +55,7 @@ pub fn nand_testbed_array(clock: &Clock, per_device_bytes: u64) -> SharedDevice 
                 as Box<dyn BlockDevice + Send>
         })
         .collect();
-    share(Raid0::new(devices, 64 * 1024))
+    share(Raid0::new(devices, 64 * 1024).expect("testbed raid config is valid"))
 }
 
 /// Like [`testbed_array`], but wrapped in a [`FaultyDevice`] armed with
@@ -64,9 +71,40 @@ pub fn faulty_testbed_array(
                 as Box<dyn BlockDevice + Send>
         })
         .collect();
-    let raid = Raid0::new(devices, 64 * 1024);
+    let raid = Raid0::new(devices, 64 * 1024).expect("testbed raid config is valid");
     let (dev, handle) = FaultyDevice::new(Box::new(raid), plan);
     (share(dev), handle)
+}
+
+/// The degraded-mode testbed: a [`Raid1`] mirror whose two members are
+/// each a fault-injectable two-way [`Raid0`] stripe of Optane-like
+/// devices (total logical capacity `2 * per_device_bytes`). Returns the
+/// array, the mirror control handle (fail/revive/rebuild/scrub), and one
+/// [`FaultHandle`] per mirror for storm injection.
+pub fn mirrored_testbed_array(
+    clock: &Clock,
+    per_device_bytes: u64,
+) -> (SharedDevice, MirrorHandle, Vec<FaultHandle>) {
+    let mut members: Vec<Box<dyn BlockDevice + Send>> = Vec::new();
+    let mut fault_handles = Vec::new();
+    for _ in 0..2 {
+        let devices: Vec<Box<dyn BlockDevice + Send>> = (0..2)
+            .map(|_| {
+                Box::new(NvmeDevice::new(
+                    clock.clone(),
+                    NvmeParams::optane_900p(),
+                    per_device_bytes,
+                )) as Box<dyn BlockDevice + Send>
+            })
+            .collect();
+        let raid = Raid0::new(devices, 64 * 1024).expect("testbed raid config is valid");
+        let (faulty, fh) = FaultyDevice::new(Box::new(raid), FaultPlan::none());
+        members.push(Box::new(faulty));
+        fault_handles.push(fh);
+    }
+    let (mirror, handle) =
+        Raid1::new(members, HealthPolicy::default()).expect("mirror config is valid");
+    (share(mirror), handle, fault_handles)
 }
 
 #[cfg(test)]
@@ -80,5 +118,22 @@ mod tests {
         let dev = dev.lock();
         assert_eq!(dev.block_size(), 4096);
         assert_eq!(dev.capacity_blocks(), 4 * ((1u64 << 30) / 4096));
+    }
+
+    #[test]
+    fn mirrored_testbed_array_reports_health_through_the_device() {
+        let clock = Clock::new();
+        let (dev, handle, faults) = mirrored_testbed_array(&clock, 1 << 24);
+        assert_eq!(faults.len(), 2);
+        {
+            let dev = dev.lock();
+            assert_eq!(dev.capacity_blocks(), 2 * ((1u64 << 24) / 4096));
+            let report = dev.health_report();
+            assert_eq!(report.member_states.len(), 2);
+            assert_eq!(report.degraded_members(), 0);
+        }
+        handle.fail_mirror(1);
+        assert_eq!(dev.lock().health_report().degraded_members(), 1);
+        assert!(dev.lock().health_report().is_degraded());
     }
 }

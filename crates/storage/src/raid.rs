@@ -19,26 +19,35 @@ pub struct Raid0 {
 impl Raid0 {
     /// Creates a stripe set with a `stripe_bytes` unit (e.g. 64 KiB).
     ///
-    /// # Panics
-    ///
-    /// Panics if the devices are heterogeneous or the stripe is not a
-    /// multiple of the block size.
-    pub fn new(devices: Vec<Box<dyn BlockDevice + Send>>, stripe_bytes: usize) -> Self {
-        assert!(!devices.is_empty(), "need at least one device");
+    /// Returns [`DeviceError::BadConfig`] for a zero-device or
+    /// zero-stripe configuration, a stripe that is not a whole number of
+    /// blocks, or heterogeneous members.
+    pub fn new(devices: Vec<Box<dyn BlockDevice + Send>>, stripe_bytes: usize) -> Result<Self> {
+        if devices.is_empty() {
+            return Err(DeviceError::BadConfig { reason: "raid0 needs at least one device" });
+        }
         let block_size = devices[0].block_size();
-        assert_eq!(stripe_bytes % block_size, 0, "stripe must be whole blocks");
+        if stripe_bytes == 0 || !stripe_bytes.is_multiple_of(block_size) {
+            return Err(DeviceError::BadConfig {
+                reason: "stripe must be a non-zero whole number of blocks",
+            });
+        }
         let per_dev = devices[0].capacity_blocks();
         for d in &devices {
-            assert_eq!(d.block_size(), block_size, "heterogeneous block sizes");
-            assert_eq!(d.capacity_blocks(), per_dev, "heterogeneous capacities");
+            if d.block_size() != block_size {
+                return Err(DeviceError::BadConfig { reason: "heterogeneous block sizes" });
+            }
+            if d.capacity_blocks() != per_dev {
+                return Err(DeviceError::BadConfig { reason: "heterogeneous capacities" });
+            }
         }
         let capacity_blocks = per_dev * devices.len() as u64;
-        Self {
+        Ok(Self {
             devices,
             stripe_blocks: (stripe_bytes / block_size) as u64,
             block_size,
             capacity_blocks,
-        }
+        })
     }
 
     /// Maps a logical block to `(device index, device-local block)`.
@@ -193,7 +202,39 @@ mod tests {
                     as Box<dyn BlockDevice + Send>
             })
             .collect();
-        Raid0::new(devices, 64 * 1024)
+        Raid0::new(devices, 64 * 1024).unwrap()
+    }
+
+    fn one_device() -> Vec<Box<dyn BlockDevice + Send>> {
+        let clock = Clock::new();
+        vec![Box::new(NvmeDevice::new(clock, NvmeParams::optane_900p(), 1 << 26))
+            as Box<dyn BlockDevice + Send>]
+    }
+
+    #[test]
+    fn constructor_rejects_bad_configs_structurally() {
+        let err = Raid0::new(Vec::new(), 64 * 1024).err().expect("zero devices must fail");
+        assert!(matches!(err, DeviceError::BadConfig { .. }), "{err}");
+        assert!(!err.is_transient());
+
+        let err = Raid0::new(one_device(), 0).err().expect("zero stripe must fail");
+        assert!(matches!(err, DeviceError::BadConfig { .. }), "{err}");
+
+        let err = Raid0::new(one_device(), 100).err().expect("sub-block stripe must fail");
+        assert!(matches!(err, DeviceError::BadConfig { .. }), "{err}");
+
+        assert!(Raid0::new(one_device(), 64 * 1024).is_ok());
+    }
+
+    #[test]
+    fn constructor_rejects_heterogeneous_members() {
+        let clock = Clock::new();
+        let devices: Vec<Box<dyn BlockDevice + Send>> = vec![
+            Box::new(NvmeDevice::new(clock.clone(), NvmeParams::optane_900p(), 1 << 26)),
+            Box::new(NvmeDevice::new(clock, NvmeParams::optane_900p(), 1 << 27)),
+        ];
+        let err = Raid0::new(devices, 64 * 1024).err().expect("mixed capacities must fail");
+        assert!(matches!(err, DeviceError::BadConfig { reason } if reason.contains("capacit")));
     }
 
     #[test]
