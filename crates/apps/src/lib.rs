@@ -95,6 +95,14 @@ impl Arena {
     pub fn used(&self) -> u64 {
         self.bump
     }
+
+    /// Rebinds this arena's host-side handle to a restored process —
+    /// possibly on another kernel. A restored image keeps its virtual
+    /// addresses, so the base/size/bump carry over unchanged; only the
+    /// owning pid differs (live migration failover).
+    pub fn rebind(&self, pid: Pid) -> Self {
+        Self { pid, addr: self.addr, size: self.size, bump: self.bump }
+    }
 }
 
 #[cfg(test)]

@@ -94,6 +94,29 @@ impl Memcached {
     pub fn keys(&self) -> usize {
         self.index.len()
     }
+
+    /// The live keys, sorted (verification sweeps).
+    pub fn key_list(&self) -> Vec<Vec<u8>> {
+        let mut keys: Vec<Vec<u8>> = self.index.keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+
+    /// Rebinds the server's host-side handle to a restored process on
+    /// the target machine after a live migration: the restored image
+    /// keeps its virtual addresses, so the index and arena offsets stay
+    /// valid — only the owning pid changes. The source handle keeps
+    /// serving until the caller fails traffic over.
+    pub fn failover_to(&self, pid: Pid) -> Self {
+        Self {
+            pid,
+            arena: self.arena.rebind(pid),
+            meta_addr: self.meta_addr,
+            index: self.index.clone(),
+            ops: self.ops,
+            wraps: self.wraps,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@ pub mod fig4_memcached_peak;
 pub mod fig5_memcached_pegged;
 pub mod fig6_rocksdb;
 pub mod group_scaling;
+pub mod live_migration;
 pub mod table1_criu;
 pub mod table4_posix_objects;
 pub mod table5_memory_objects;
@@ -36,5 +37,6 @@ pub fn all() -> Vec<Entry> {
         ("ablations", ablations::run),
         ("group_scaling", group_scaling::run),
         ("degraded_mode", degraded_mode::run),
+        ("live_migration", live_migration::run),
     ]
 }

@@ -56,6 +56,18 @@ fn main() {
             let steps = flag_u64(&args, "--steps").unwrap_or(12);
             watch(period, steps);
         }
+        "cluster" => {
+            let nodes = flag_u64(&args, "--nodes").unwrap_or(3) as usize;
+            let quorum = flag_u64(&args, "--quorum").unwrap_or(2) as usize;
+            let epochs = flag_u64(&args, "--epochs").unwrap_or(6);
+            let kill = flag_u64(&args, "--kill").map(|k| k as usize);
+            cluster_demo(nodes, quorum, epochs, kill);
+        }
+        "migrate" => {
+            let rounds = flag_u64(&args, "--rounds").unwrap_or(6) as u32;
+            let threshold = flag_u64(&args, "--threshold").unwrap_or(128);
+            migrate_demo(rounds, threshold);
+        }
         "help" | "--help" | "-h" => usage(),
         other => {
             eprintln!("unknown or non-interactive command: {other}");
@@ -83,7 +95,9 @@ fn usage() {
         "sls — the Aurora single level store CLI (reproduction)\n\n\
          USAGE: sls demo [--trace FILE]\n\
          \x20      sls stat [--prom | --json] [--period NS] [--probe PREFIX]\n\
-         \x20      sls watch [--period NS] [--steps N]\n\n\
+         \x20      sls watch [--period NS] [--steps N]\n\
+         \x20      sls cluster [--nodes N] [--quorum Q] [--epochs E] [--kill NODE]\n\
+         \x20      sls migrate [--rounds N] [--threshold PAGES]\n\n\
          demo   walk the paper's Table 2 workflow: attach → periodic\n\
          \x20      checkpoints → named checkpoint → ps → crash → restore →\n\
          \x20      time travel → suspend/resume → dump → send/recv migration\n\
@@ -97,7 +111,13 @@ fn usage() {
          \x20      --period NS   virtual-time sampling period (default 10ms)\n\
          \x20      --probe PFX   count events whose name starts with PFX\n\n\
          watch  same workload, printing one line per metrics sample as\n\
-         \x20      virtual time advances (a `sls stat` you can scroll)"
+         \x20      virtual time advances (a `sls stat` you can scroll)\n\n\
+         cluster boot N replicated nodes on one virtual clock, commit\n\
+         \x20      epochs at quorum Q, print per-node watermarks\n\
+         \x20      --kill NODE   take a follower down halfway through\n\n\
+         migrate live-migrate a memcached between cluster nodes under\n\
+         \x20      mutilate load; prints pre-copy rounds and the final\n\
+         \x20      stop-and-copy pause in virtual µs"
     );
 }
 
@@ -190,19 +210,164 @@ fn stat(prom: bool, json: bool, period: u64, probe: Option<&str>) {
     );
 }
 
+/// `sls cluster`: boot an N-node replicated cluster on one virtual
+/// clock, commit epochs through the quorum pipeline, and print the
+/// per-node watermark table as acks land. `--kill NODE` takes a
+/// follower down halfway through to show the quorum riding it out.
+fn cluster_demo(nodes: usize, quorum: usize, epochs: u64, kill: Option<usize>) {
+    use aurora_cluster::{Cluster, ClusterConfig};
+    println!("Booting a {nodes}-node Aurora cluster (quorum {quorum}) on one virtual clock…");
+    let mut c = Cluster::new(ClusterConfig { nodes, quorum, ..ClusterConfig::default() });
+    let pid = c.leader().kernel.spawn("counter");
+    let addr = c.leader().kernel.mmap_anon(pid, 16, aurora_vm::Prot::RW).unwrap();
+    c.leader().kernel.mem_write(pid, addr, &0u64.to_le_bytes()).unwrap();
+    let gid = c
+        .attach_on_leader(pid, SlsOptions { external_synchrony: true, ..SlsOptions::default() })
+        .unwrap();
+    println!("Leader pid {} attached as group g{} (external synchrony on)", pid.0, gid.0);
+    println!(
+        "  {:>5}  {:>12}  {:>8}  {}",
+        "epoch",
+        "durable_at",
+        "quorum",
+        (0..nodes).map(|n| format!("{:>8}", format!("node{n}"))).collect::<Vec<_>>().join("  ")
+    );
+    for i in 1..=epochs {
+        if let Some(k) = kill {
+            if i == epochs / 2 + 1 && c.nodes[k].alive {
+                println!("  -- killing node {k} --");
+                c.kill(k);
+            }
+        }
+        let mut buf = [0u8; 8];
+        c.leader().kernel.mem_read(pid, addr, &mut buf).unwrap();
+        let v = u64::from_le_bytes(buf) + 1;
+        c.leader().kernel.mem_write(pid, addr, &v.to_le_bytes()).unwrap();
+        let stats = c.checkpoint_and_replicate(gid).unwrap();
+        c.drain().unwrap();
+        let marks = c.watermarks(gid.0);
+        println!(
+            "  {:>5}  {:>12}  {:>8}  {}",
+            stats.epoch,
+            fmt_ns(stats.durable_at),
+            c.quorum_watermark(gid.0),
+            marks.iter().map(|&(_, w)| format!("{w:>8}")).collect::<Vec<_>>().join("  ")
+        );
+    }
+    let gauges = c.leader().stat_gauges();
+    println!("\ncluster gauges on the leader:");
+    for (name, v) in gauges.iter().filter(|(n, _)| n.starts_with("cluster.")) {
+        println!("  {name:<32} {v}");
+    }
+    println!(
+        "fabric: {} msgs / {} on the wire, {} dropped",
+        c.fabric.stats().sent_msgs,
+        fmt_bytes(c.fabric.stats().sent_bytes),
+        c.fabric.stats().dropped_msgs
+    );
+}
+
+/// `sls migrate`: live-migrate a running memcached between cluster
+/// nodes under mutilate traffic, printing each pre-copy round and the
+/// final stop-and-copy pause in virtual µs.
+fn migrate_demo(max_rounds: u32, threshold: u64) {
+    use aurora_apps::memcached::Memcached;
+    use aurora_cluster::{Cluster, ClusterConfig, MigrationConfig};
+    use aurora_workloads::mutilate::{McOp, Mutilate, MutilateConfig};
+    println!("Booting a 3-node cluster; memcached on the leader, mutilate at the door…");
+    let mut c = Cluster::new(ClusterConfig::default());
+    let mut mc = Memcached::launch(&mut c.leader().kernel, 2048, 12).unwrap();
+    let gid = c.attach_on_leader(mc.pid, SlsOptions::default()).unwrap();
+    let mut gen = Mutilate::new(MutilateConfig { keyspace: 512, ..MutilateConfig::default() });
+    for i in 0..400u32 {
+        let key = format!("seed-{i:08}").into_bytes();
+        let mut v = key.clone();
+        v.resize(256, b'v');
+        mc.set(&mut c.leader().kernel, &key, &v).unwrap();
+    }
+    for _ in 0..2_000 {
+        match gen.next_op() {
+            McOp::Set { key, value_len } => {
+                let mut v = key.to_vec();
+                v.resize(value_len.max(8), b'v');
+                mc.set(&mut c.leader().kernel, &key, &v).unwrap();
+            }
+            McOp::Get { key } => {
+                mc.get(&mut c.leader().kernel, &key).unwrap();
+            }
+        }
+    }
+    println!("Warmed {} keys; migrating group g{} leader → node 2 under load…", mc.keys(), gid.0);
+    let report = c
+        .live_migrate(
+            2,
+            gid,
+            MigrationConfig { max_rounds, dirty_threshold_pages: threshold },
+            |sls, _round| {
+                for _ in 0..200 {
+                    match gen.next_op() {
+                        McOp::Set { key, value_len } => {
+                            let mut v = key.to_vec();
+                            v.resize(value_len.max(8), b'v');
+                            mc.set(&mut sls.kernel, &key, &v)?;
+                        }
+                        McOp::Get { key } => {
+                            mc.get(&mut sls.kernel, &key)?;
+                        }
+                    }
+                }
+                Ok(())
+            },
+        )
+        .unwrap();
+    println!("  {:>5}  {:>6}  {:>10}  {:>12}  {:>12}", "round", "epoch", "pages", "bytes", "took");
+    for r in &report.rounds {
+        println!(
+            "  {:>5}  {:>6}  {:>10}  {:>12}  {:>12}",
+            r.round,
+            r.epoch,
+            r.pages,
+            fmt_bytes(r.bytes),
+            fmt_ns(r.elapsed_ns)
+        );
+    }
+    println!(
+        "stop-and-copy pause: {} µs (virtual); {} total over {} pages",
+        report.stop_copy_pause_us,
+        fmt_bytes(report.total_bytes),
+        report.total_pages
+    );
+    let new_pid = *report.restore.pids.first().expect("restored server process");
+    let mut mc_target = mc.failover_to(new_pid);
+    let keys = mc.key_list();
+    let mut verified = 0usize;
+    for key in &keys {
+        let a = mc.get(&mut c.leader().kernel, key).unwrap();
+        let b = mc_target.get(&mut c.nodes[2].sls.kernel, key).unwrap();
+        assert_eq!(a, b, "post-failover mismatch on {:?}", String::from_utf8_lossy(key));
+        verified += 1;
+    }
+    println!(
+        "failover: target pid {} on node 2 serves {verified}/{} keys byte-identical to the source",
+        new_pid.0,
+        keys.len()
+    );
+}
+
 fn watch(period: u64, steps: u64) {
     let mut w = World::quickstart();
     let trace = w.enable_tracing();
     let checker = InvariantChecker::arm(&trace);
     let sampler = w.enable_sampling(period);
     println!("sls watch — one line per metrics sample (virtual-time period {})", fmt_ns(period));
-    const COLS: [&str; 6] = [
+    const COLS: [&str; 7] = [
         "store.current_epoch",
         "frames.resident",
         "store.cache_pages",
         "pipeline.checkpoints",
         "dev.bytes_written",
         "device.health.worst",
+        "cluster.quorum_lag",
     ];
     println!(
         "  {:>10}  {}",

@@ -1,0 +1,202 @@
+//! Live migration: move a running consistency group between cluster
+//! nodes while its workload keeps executing.
+//!
+//! Pre-copy, the classic shape: each round checkpoints the group on the
+//! source (the COW shadow machinery is the dirty tracker — only pages
+//! written since the previous epoch carry a newer version) and ships
+//! the epoch delta across the fabric while traffic keeps dirtying
+//! pages. Rounds shrink as the working set converges; once a round's
+//! delta is under the threshold (or the round budget is spent), the
+//! source stops serving, the final delta is shipped, and the image is
+//! restored on the target — the **stop-and-copy pause**, measured on
+//! the virtual clock, is exactly that window. The caller then fails
+//! traffic over to the restored processes on the target.
+
+use crate::{Cluster, LEADER};
+use aurora_core::restore::RestoreReport;
+use aurora_core::{GroupId, RestoreMode, Sls, SlsError};
+
+/// Pre-copy tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct MigrationConfig {
+    /// Maximum pre-copy rounds before forcing stop-and-copy.
+    pub max_rounds: u32,
+    /// Converged when a round's delta carries at most this many pages.
+    pub dirty_threshold_pages: u64,
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        Self { max_rounds: 8, dirty_threshold_pages: 64 }
+    }
+}
+
+/// One pre-copy round.
+#[derive(Clone, Copy, Debug)]
+pub struct RoundStats {
+    /// Round number (0 = the full first copy).
+    pub round: u32,
+    /// Source epoch the round shipped.
+    pub epoch: u64,
+    /// Dirty pages carried.
+    pub pages: u64,
+    /// Stream bytes on the wire.
+    pub bytes: u64,
+    /// Round wall time (checkpoint + transfer + apply), virtual ns.
+    pub elapsed_ns: u64,
+}
+
+/// What a live migration did.
+#[derive(Clone, Debug)]
+pub struct MigrationReport {
+    /// Every pre-copy round, in order. The last entry is the
+    /// stop-and-copy round.
+    pub rounds: Vec<RoundStats>,
+    /// The stop-and-copy pause: source stopped → target restored,
+    /// virtual µs.
+    pub stop_copy_pause_us: u64,
+    /// Total bytes shipped across all rounds.
+    pub total_bytes: u64,
+    /// Total pages shipped across all rounds.
+    pub total_pages: u64,
+    /// The restore on the target (new group, new pids).
+    pub restore: RestoreReport,
+    /// Virtual time at which the target came live.
+    pub switched_at: u64,
+}
+
+impl Cluster {
+    /// Ships `stream` from `src` to `dst` over the fabric and advances
+    /// the shared clock to its arrival; lost transmissions retry
+    /// (re-serializing on the link each time).
+    fn ship(&mut self, src: usize, dst: usize, bytes: u64) -> Result<u64, SlsError> {
+        for _ in 0..64 {
+            let now = self.clock.now();
+            if let Some(at) = self.fabric.send(src as u64, dst as u64, bytes, now) {
+                self.clock.advance_to(at);
+                return Ok(at);
+            }
+        }
+        Err(SlsError::BadImage("migration stream lost 64 times in a row"))
+    }
+
+    /// Live-migrates group `gid` from the leader to node `dst`.
+    /// `traffic` is invoked before every pre-copy round with the source
+    /// SLS and the round number — the workload that keeps dirtying pages
+    /// mid-migration. After the final stop-and-copy no more traffic runs
+    /// on the source; the caller redirects it to the restored processes
+    /// on the target (see [`MigrationReport::restore`]).
+    pub fn live_migrate<F>(
+        &mut self,
+        dst: usize,
+        gid: GroupId,
+        cfg: MigrationConfig,
+        mut traffic: F,
+    ) -> Result<MigrationReport, SlsError>
+    where
+        F: FnMut(&mut Sls, u32) -> Result<(), SlsError>,
+    {
+        assert_ne!(dst, LEADER, "migration target must differ from the source");
+        assert!(self.nodes[dst].alive, "migration target is dead");
+        let trace = self.nodes[LEADER].sls.kernel.charge.trace().clone();
+        let mut rounds: Vec<RoundStats> = Vec::new();
+        let mut last_sent = 0u64;
+
+        // Pre-copy: checkpoint, ship the delta, let traffic keep
+        // dirtying pages; stop once a round converges under the
+        // threshold.
+        for round in 0..cfg.max_rounds {
+            let start = self.clock.now();
+            traffic(&mut self.nodes[LEADER].sls, round)?;
+            let stats = self.nodes[LEADER].sls.checkpoint_now(gid)?;
+            let (stream, delta) =
+                self.nodes[LEADER].sls.send_delta_stats(last_sent, stats.epoch)?;
+            self.ship(LEADER, dst, delta.bytes)?;
+            let report = self.nodes[dst].sls.recv_apply(&stream, gid.0)?;
+            last_sent = stats.epoch;
+            self.nodes[dst].applied.entry(gid.0).or_default().insert(stats.epoch, report.local_epoch);
+            let elapsed = self.clock.now() - start;
+            rounds.push(RoundStats {
+                round,
+                epoch: stats.epoch,
+                pages: delta.pages,
+                bytes: delta.bytes,
+                elapsed_ns: elapsed,
+            });
+            self.migration_round = round as u64 + 1;
+            self.migration_dirty_pages = delta.pages;
+            self.update_gauges(gid.0);
+            if trace.is_enabled() {
+                trace.complete(
+                    "cluster",
+                    "migration.round",
+                    start,
+                    elapsed,
+                    &[
+                        ("round", round as u64),
+                        ("epoch", stats.epoch),
+                        ("pages", delta.pages),
+                        ("bytes", delta.bytes),
+                    ],
+                );
+            }
+            if delta.pages <= cfg.dirty_threshold_pages {
+                break;
+            }
+        }
+
+        // Stop-and-copy: the source stops serving here; everything to
+        // the target's restored image coming live is the pause.
+        let pause_start = self.clock.now();
+        let stats = self.nodes[LEADER].sls.checkpoint_now(gid)?;
+        let (stream, delta) =
+            self.nodes[LEADER].sls.send_delta_stats(last_sent, stats.epoch)?;
+        self.ship(LEADER, dst, delta.bytes)?;
+        let report = self.nodes[dst].sls.recv_apply(&stream, gid.0)?;
+        let local_epoch = report.local_epoch;
+        self.nodes[dst].applied.entry(gid.0).or_default().insert(stats.epoch, local_epoch);
+        let manifest = match report.manifests.first() {
+            Some(&m) => m,
+            None => *self.nodes[dst]
+                .sls
+                .manifests_at(local_epoch)?
+                .first()
+                .ok_or(SlsError::BadImage("no manifest on migration target"))?,
+        };
+        let restore =
+            self.nodes[dst].sls.restore_image(manifest, local_epoch, RestoreMode::Full)?;
+        let switched_at = self.clock.now();
+        let pause_ns = switched_at - pause_start;
+        rounds.push(RoundStats {
+            round: rounds.len() as u32,
+            epoch: stats.epoch,
+            pages: delta.pages,
+            bytes: delta.bytes,
+            elapsed_ns: pause_ns,
+        });
+        self.migration_round = rounds.len() as u64;
+        self.migration_dirty_pages = delta.pages;
+        self.update_gauges(gid.0);
+        if trace.is_enabled() {
+            trace.complete(
+                "cluster",
+                "migration.stop_and_copy",
+                pause_start,
+                pause_ns,
+                &[
+                    ("epoch", stats.epoch),
+                    ("pages", delta.pages),
+                    ("pause_us", pause_ns / 1_000),
+                ],
+            );
+        }
+        Ok(MigrationReport {
+            total_bytes: rounds.iter().map(|r| r.bytes).sum(),
+            total_pages: rounds.iter().map(|r| r.pages).sum(),
+            rounds,
+            stop_copy_pause_us: pause_ns / 1_000,
+            restore,
+            switched_at,
+        })
+    }
+}

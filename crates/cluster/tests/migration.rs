@@ -1,0 +1,128 @@
+//! Live migration of a running memcached under mutilate traffic:
+//! iterative pre-copy rounds converge while SETs keep dirtying pages,
+//! the stop-and-copy pause is measured in virtual µs, and the target
+//! serves byte-identical data after failover.
+
+use aurora_apps::memcached::Memcached;
+use aurora_cluster::{Cluster, ClusterConfig, MigrationConfig};
+use aurora_core::SlsOptions;
+use aurora_trace::InvariantChecker;
+use aurora_workloads::mutilate::{McOp, Mutilate, MutilateConfig};
+
+#[test]
+fn live_migrate_memcached_under_mutilate_load() {
+    let mut c = Cluster::new(ClusterConfig::default());
+    let trace = {
+        let clock = c.clock.clone();
+        let t = aurora_trace::Trace::recording(move || clock.now());
+        c.leader().install_trace(t.clone());
+        t
+    };
+    let checker = InvariantChecker::arm(&trace);
+
+    // A memcached on the leader, pre-warmed with mutilate traffic.
+    let mut mc = Memcached::launch(&mut c.leader().kernel, 2048, 12).unwrap();
+    let gid = c.attach_on_leader(mc.pid, SlsOptions::default()).unwrap();
+    let mut gen = Mutilate::new(MutilateConfig { keyspace: 512, ..MutilateConfig::default() });
+    let value = |len: usize, key: &[u8]| {
+        // Deterministic per-key content so reads are checkable.
+        let mut v = key.to_vec();
+        v.resize(len.max(8), b'v');
+        v
+    };
+    for i in 0..400u32 {
+        let key = format!("seed-{i:08}").into_bytes();
+        let v = value(256, &key);
+        mc.set(&mut c.leader().kernel, &key, &v).unwrap();
+    }
+    for _ in 0..2_000 {
+        match gen.next_op() {
+            McOp::Set { key, value_len } => {
+                let v = value(value_len, &key);
+                mc.set(&mut c.leader().kernel, &key, &v).unwrap();
+            }
+            McOp::Get { key } => {
+                mc.get(&mut c.leader().kernel, &key).unwrap();
+            }
+        }
+    }
+    assert!(mc.keys() > 100, "warmup populated the server");
+
+    // Migrate to node 2 while traffic keeps arriving: each pre-copy
+    // round serves another slice of the mutilate stream before the
+    // checkpoint, so later rounds carry genuinely re-dirtied pages.
+    let report = c
+        .live_migrate(2, gid, MigrationConfig { max_rounds: 6, dirty_threshold_pages: 128 }, |sls, _round| {
+            for _ in 0..200 {
+                match gen.next_op() {
+                    McOp::Set { key, value_len } => {
+                        let mut v = key.to_vec();
+                        v.resize(value_len.max(8), b'v');
+                        mc.set(&mut sls.kernel, &key, &v).unwrap();
+                    }
+                    McOp::Get { key } => {
+                        mc.get(&mut sls.kernel, &key).unwrap();
+                    }
+                }
+            }
+            Ok(())
+        })
+        .unwrap();
+
+    // Pre-copy converged: the first round ships the full image, later
+    // rounds only what traffic re-dirtied.
+    assert!(report.rounds.len() >= 2);
+    let first = &report.rounds[0];
+    let last_precopy = &report.rounds[report.rounds.len() - 2];
+    assert!(first.pages > 1_000, "round 0 is the full copy ({} pages)", first.pages);
+    assert!(
+        last_precopy.pages < first.pages / 2,
+        "pre-copy converged: {} -> {} pages",
+        first.pages,
+        last_precopy.pages
+    );
+    // The stop-and-copy pause is real, measured in virtual µs, and far
+    // smaller than shipping the whole image cold.
+    assert!(report.stop_copy_pause_us > 0);
+    assert!(
+        report.stop_copy_pause_us < first.elapsed_ns / 1_000,
+        "pause {}µs should undercut the full round {}µs",
+        report.stop_copy_pause_us,
+        first.elapsed_ns / 1_000
+    );
+
+    // Failover: rebind the server handle to the restored process on the
+    // target and byte-compare every key against the source.
+    let new_pid = *report.restore.pids.first().expect("restored the server process");
+    let mut mc_target = mc.failover_to(new_pid);
+    let keys = mc.key_list();
+    assert!(!keys.is_empty());
+    for key in &keys {
+        let a = mc.get(&mut c.leader().kernel, key).unwrap();
+        let b = mc_target.get(&mut c.nodes[2].sls.kernel, key).unwrap();
+        assert_eq!(a, b, "key {:?} differs after failover", String::from_utf8_lossy(key));
+        assert!(a.is_some());
+    }
+
+    // The target *serves*: post-failover traffic lands on node 2 only.
+    for _ in 0..200 {
+        match gen.next_op() {
+            McOp::Set { key, value_len } => {
+                let mut v = key.to_vec();
+                v.resize(value_len.max(8), b'x');
+                mc_target.set(&mut c.nodes[2].sls.kernel, &key, &v).unwrap();
+            }
+            McOp::Get { key } => {
+                mc_target.get(&mut c.nodes[2].sls.kernel, &key).unwrap();
+            }
+        }
+    }
+
+    // Migration progress surfaced in the gauges.
+    let gauges = c.leader().stat_gauges();
+    let round = gauges.iter().find(|(n, _)| n == "cluster.migration_round").unwrap().1;
+    assert_eq!(round, report.rounds.len() as u64);
+
+    assert!(checker.checked() > 0);
+    checker.assert_clean();
+}

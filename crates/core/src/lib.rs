@@ -47,6 +47,7 @@ pub use pipeline::{CheckpointPipeline, GroupRun, Phase, RetryPolicy};
 pub use registry::{default_registry, KObjKind, Serializer, SerializerRegistry};
 pub use restore::RestoreMode;
 pub use scheduler::{CheckpointScheduler, SchedulerPolicy};
+pub use sendrecv::{ApplyReport, DeltaStats};
 
 pub use aurora_frames::{FrameArena, FrameGauges, PageRef};
 
@@ -227,6 +228,15 @@ pub struct Sls {
     pub(crate) breakers: HashMap<u64, Breaker>,
     /// Retries spent by all checkpoint runs since boot (gauge source).
     pub(crate) retries_spent_total: u64,
+    /// Cluster release gate: when set, external synchrony holds sealed
+    /// batches whose epoch exceeds this watermark even once locally
+    /// durable — the quorum durable watermark layered onto seal/release
+    /// (set by `aurora-cluster` as follower acks arrive).
+    pub(crate) release_gate: Option<u64>,
+    /// `cluster.*` gauges pushed down by the cluster layer (quorum lag,
+    /// replication queue depth, migration progress). A standalone node
+    /// reports the defaults — a cluster of one, zero lag.
+    pub(crate) cluster_gauges: HashMap<String, u64>,
     next_group: u64,
 }
 
@@ -260,8 +270,30 @@ impl Sls {
             config: CheckpointConfig::default(),
             breakers: HashMap::new(),
             retries_spent_total: 0,
+            release_gate: None,
+            cluster_gauges: HashMap::new(),
             next_group: 1,
         }
+    }
+
+    /// Sets (or clears) the external-synchrony release gate: sealed
+    /// batches with an epoch above the watermark stay withheld even once
+    /// locally durable. The cluster layer advances this to the quorum
+    /// durable watermark as replication acks arrive; `None` restores
+    /// single-node behavior (local durability alone releases).
+    pub fn set_release_gate(&mut self, watermark: Option<u64>) {
+        self.release_gate = watermark;
+    }
+
+    /// The current external-synchrony release gate, if any.
+    pub fn release_gate(&self) -> Option<u64> {
+        self.release_gate
+    }
+
+    /// Replaces the `cluster.*` gauges the cluster layer surfaces through
+    /// [`Sls::stat_gauges`] and the metrics sampler.
+    pub fn set_cluster_gauges(&mut self, gauges: Vec<(String, u64)>) {
+        self.cluster_gauges = gauges.into_iter().collect();
     }
 
     /// Replaces the checkpoint engine configuration. Takes effect for
@@ -434,6 +466,25 @@ impl Sls {
             ("raid.rebuild.completed".into(), health.rebuilds_completed),
             ("retry.budget.spent_total".into(), self.retries_spent_total),
         ];
+        // Cluster view: defaults describe a standalone node (a cluster
+        // of one — no lag, nothing queued); the cluster layer overrides
+        // them via `set_cluster_gauges` as replication progresses.
+        for key in
+            ["cluster.quorum_lag", "cluster.repl_queue_depth", "cluster.migration_round", "cluster.migration_dirty_pages"]
+        {
+            v.push((key.into(), self.cluster_gauges.get(key).copied().unwrap_or(0)));
+        }
+        for (k, val) in &self.cluster_gauges {
+            if !matches!(
+                k.as_str(),
+                "cluster.quorum_lag"
+                    | "cluster.repl_queue_depth"
+                    | "cluster.migration_round"
+                    | "cluster.migration_dirty_pages"
+            ) {
+                v.push((k.clone(), *val));
+            }
+        }
         for (i, state) in health.member_states.iter().enumerate() {
             v.push((format!("device.health.m{i}"), state.code()));
         }

@@ -1,21 +1,26 @@
 //! The checkpoint scheduler: interleaves many groups' pipeline phases
 //! so flush bandwidth stays saturated without a global stop.
 //!
-//! One [`GroupRun`] per group advances round-robin, one phase per
-//! round. Stop phases are admitted only once the group's previous
-//! checkpoint is durable (per-group backpressure, §7), and Flush phases
-//! are deferred while the store already has
+//! Admission is event-driven: runs waiting on their per-group
+//! backpressure horizon sit in a `ready_at`-ordered min-heap and only
+//! surface when the virtual clock reaches them; runnable runs advance
+//! one phase per turn from a FIFO queue, so each scheduling step costs
+//! O(log groups) instead of the old O(groups) round-robin scan — the
+//! difference between thousands of groups and dozens. Flush phases are
+//! deferred while the store already has
 //! [`SchedulerPolicy::max_inflight_flushes`] drafts with writes in
 //! flight — staggering the groups against the device queue instead of
 //! dumping every flush at once. When no run can make progress at the
 //! current virtual time, the clock jumps to the earliest unblocking
-//! event (a backpressure horizon or a draft's completion), so group B
+//! event (the heap's front or a draft's completion), so group B
 //! quiesces and serializes while group A's flush is still in the
 //! device queue.
 
 use crate::checkpoint::CheckpointStats;
 use crate::pipeline::{GroupRun, Phase};
 use crate::{GroupId, Sls, SlsError};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Tunables for [`CheckpointScheduler`].
 #[derive(Clone, Copy, Debug)]
@@ -60,75 +65,102 @@ impl CheckpointScheduler {
         }
         let clock = sls.kernel.charge.clock().clone();
         let n = runs.len();
-        let mut next = 0usize;
-        while !runs.iter().all(|r| r.is_done()) {
-            let mut progressed = false;
-            let mut deferred_flush: Option<usize> = None;
-            for k in 0..n {
-                let i = (next + k) % n;
-                match runs[i].phase() {
-                    Phase::Done => {}
-                    Phase::Stop => {
-                        // Per-group backpressure: this group's previous
-                        // checkpoint must be durable first. Other groups
-                        // keep running meanwhile.
-                        if clock.now() >= runs[i].ready_at() {
-                            runs[i].step(sls)?;
-                            progressed = true;
-                        }
+        let mut done = 0usize;
+        // Stop admission: min-heap on (ready_at, seq) — seq keeps ties
+        // FIFO in `gids` order, matching the old round-robin's
+        // determinism.
+        let mut waiting: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+        // Runs able to attempt their next phase at the current time.
+        let mut runnable: VecDeque<usize> = VecDeque::new();
+        // Flush phases held back by the in-flight cap, re-admitted when
+        // a draft completes (or the clock otherwise advances).
+        let mut deferred: VecDeque<usize> = VecDeque::new();
+        let mut seq = 0u64;
+        for (i, run) in runs.iter().enumerate() {
+            waiting.push(Reverse((run.ready_at(), seq, i)));
+            seq += 1;
+        }
+        while done < n {
+            // Surface every waiter whose horizon has passed.
+            while let Some(&Reverse((t, _, i))) = waiting.peek() {
+                if t > clock.now() {
+                    break;
+                }
+                waiting.pop();
+                runnable.push_back(i);
+            }
+            let Some(i) = runnable.pop_front() else {
+                // Nothing runnable now: jump to the earliest unblocking
+                // event — the heap's front horizon or an in-flight
+                // draft's completion freeing a flush slot.
+                let mut wake: Option<u64> = waiting.peek().map(|&Reverse((t, _, _))| t);
+                if !deferred.is_empty() {
+                    if let Some(t) = sls.store.lock().next_draft_completion(clock.now()) {
+                        wake = Some(wake.map_or(t, |w| w.min(t)));
                     }
-                    Phase::Flush => {
-                        // Device-health feedback: shrink the flush window
-                        // while a mirror is degraded, restore it on
-                        // recovery. Re-read each round — health changes
-                        // mid-schedule (a storm mid-checkpoint) take
-                        // effect on the very next flush admission.
-                        let cap = if sls.device_degraded() {
-                            self.policy.degraded_max_inflight.max(1)
-                        } else {
-                            self.policy.max_inflight_flushes
-                        };
-                        let inflight = sls.store.lock().inflight_drafts(clock.now());
-                        if inflight >= cap {
-                            deferred_flush.get_or_insert(i);
-                        } else {
-                            runs[i].step(sls)?;
-                            progressed = true;
-                        }
-                    }
-                    Phase::Seal | Phase::Commit => {
+                }
+                match wake {
+                    Some(t) => clock.advance_to(t),
+                    None => {
+                        // The queue is saturated by drafts with no
+                        // pending completions (can't happen with a live
+                        // device, but never spin): issue one deferred
+                        // flush anyway.
+                        let i = deferred
+                            .pop_front()
+                            .expect("undone run neither runnable nor waiting");
                         runs[i].step(sls)?;
-                        progressed = true;
+                        if runs[i].is_done() {
+                            done += 1;
+                        } else {
+                            runnable.push_back(i);
+                        }
                     }
                 }
-            }
-            next = (next + 1) % n;
-            if progressed {
+                // The clock moved (or a slot freed): deferred flushes
+                // get a fresh cap check.
+                runnable.extend(deferred.drain(..));
                 continue;
-            }
-            // Nothing runnable now: jump to the earliest unblocking
-            // event — a waiting group's durability horizon or an
-            // in-flight draft's completion freeing a flush slot.
-            let mut wake: Option<u64> = None;
-            for run in &runs {
-                if run.phase() == Phase::Stop && run.ready_at() > clock.now() {
-                    wake = Some(wake.map_or(run.ready_at(), |w| w.min(run.ready_at())));
-                }
-            }
-            if deferred_flush.is_some() {
-                if let Some(t) = sls.store.lock().next_draft_completion(clock.now()) {
-                    wake = Some(wake.map_or(t, |w| w.min(t)));
-                }
-            }
-            match (wake, deferred_flush) {
-                (Some(t), _) => clock.advance_to(t),
-                (None, Some(i)) => {
-                    // The queue is saturated by drafts with no pending
-                    // completions (can't happen with a live device, but
-                    // never spin): issue the flush anyway.
+            };
+            match runs[i].phase() {
+                Phase::Done => continue,
+                Phase::Stop => {
+                    // Per-group backpressure: this group's previous
+                    // checkpoint must be durable first. Other groups
+                    // keep running meanwhile.
+                    if clock.now() < runs[i].ready_at() {
+                        waiting.push(Reverse((runs[i].ready_at(), seq, i)));
+                        seq += 1;
+                        continue;
+                    }
                     runs[i].step(sls)?;
                 }
-                (None, None) => unreachable!("undone run neither runnable nor waiting"),
+                Phase::Flush => {
+                    // Device-health feedback: shrink the flush window
+                    // while a mirror is degraded, restore it on
+                    // recovery. Re-read each turn — health changes
+                    // mid-schedule (a storm mid-checkpoint) take effect
+                    // on the very next flush admission.
+                    let cap = if sls.device_degraded() {
+                        self.policy.degraded_max_inflight.max(1)
+                    } else {
+                        self.policy.max_inflight_flushes
+                    };
+                    let inflight = sls.store.lock().inflight_drafts(clock.now());
+                    if inflight >= cap {
+                        deferred.push_back(i);
+                        continue;
+                    }
+                    runs[i].step(sls)?;
+                }
+                Phase::Seal | Phase::Commit => {
+                    runs[i].step(sls)?;
+                }
+            }
+            if runs[i].is_done() {
+                done += 1;
+            } else {
+                runnable.push_back(i);
             }
         }
         Ok(runs.into_iter().map(|r| r.take_stats()).collect())

@@ -9,6 +9,36 @@ use aurora_sim::codec::{Decoder, Encoder};
 
 const STREAM_TAG: u16 = 0x5354;
 
+/// What a delta stream carried — the replication/migration layers size
+/// rounds and convergence checks on these.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeltaStats {
+    /// Source epoch the stream describes (the `to` side).
+    pub epoch: u64,
+    /// Objects with any change in the window.
+    pub objects: u64,
+    /// Pages carried.
+    pub pages: u64,
+    /// Encoded stream length.
+    pub bytes: u64,
+}
+
+/// What applying a received stream produced.
+#[derive(Clone, Debug)]
+pub struct ApplyReport {
+    /// Manifest objects seen in the stream (restore entry points).
+    pub manifests: Vec<Oid>,
+    /// The source-side epoch stamped in the stream header.
+    pub src_epoch: u64,
+    /// The local epoch the apply committed as.
+    pub local_epoch: u64,
+    /// Virtual time at which the local commit is durable — the floor a
+    /// replication follower acks at.
+    pub durable_at: u64,
+    /// Pages written.
+    pub pages: u64,
+}
+
 impl Sls {
     /// Serializes the full image at `epoch` into a self-contained stream:
     /// every object's kind, metadata, and pages.
@@ -54,12 +84,25 @@ impl Sls {
     /// into this machine's store (same OIDs) and commits it. Returns the
     /// manifests found, ready for [`Sls::restore_image`].
     pub fn recv_stream(&mut self, stream: &[u8]) -> Result<Vec<Oid>, SlsError> {
+        Ok(self.recv_apply(stream, 0)?.manifests)
+    }
+
+    /// Imports a full or delta stream, committing it under `group`'s
+    /// draft so the commit record chains on that group's durable floor —
+    /// a replication follower applying a leader's sealed epoch commits a
+    /// record attributed to the same consistency group. Returns what was
+    /// applied, including the local commit's `durable_at` (the follower's
+    /// ack floor).
+    pub fn recv_apply(&mut self, stream: &[u8], group: u64) -> Result<ApplyReport, SlsError> {
         let mut manifests = Vec::new();
+        let mut pages = 0u64;
         let mut d = Decoder::new(stream);
         let (_v, mut hdr) = d.record(STREAM_TAG, 1)?;
-        let _src_epoch = hdr.u64()?;
+        let src_epoch = hdr.u64()?;
         let count = hdr.u32()?;
         let mut store = self.store.lock();
+        let prev_staging = store.staging();
+        store.stage_for(group);
         for _ in 0..count {
             let len = d.u32()? as usize;
             let mut body = Decoder::new(d.raw(len)?);
@@ -79,6 +122,7 @@ impl Sls {
                     body.raw(PAGE)?.try_into().expect("exactly one page");
                 batch.push((pi, store.arena().alloc(*page)));
             }
+            pages += batch.len() as u64;
             if !batch.is_empty() {
                 // One charged bulk write per imported object.
                 store.write_pages(oid, &batch)?;
@@ -87,8 +131,9 @@ impl Sls {
                 manifests.push(oid);
             }
         }
-        let info = store.commit()?;
+        let info = store.commit_for(group)?;
         store.barrier(info);
+        store.stage_for(prev_staging);
         drop(store);
         let trace = self.kernel.charge.trace();
         if trace.is_enabled() {
@@ -97,12 +142,20 @@ impl Sls {
                 "sendrecv.recv",
                 &[
                     ("epoch", info.epoch),
+                    ("src_epoch", src_epoch),
+                    ("group", group),
                     ("objects", count as u64),
                     ("bytes", stream.len() as u64),
                 ],
             );
         }
-        Ok(manifests)
+        Ok(ApplyReport {
+            manifests,
+            src_epoch,
+            local_epoch: info.epoch,
+            durable_at: info.durable_at,
+            pages,
+        })
     }
 
     /// Serializes only the changes between two epochs: the incremental
@@ -110,6 +163,16 @@ impl Sls {
     /// availability (Table 2, §10). Objects/pages unchanged since
     /// `from_epoch` are skipped.
     pub fn send_delta(&self, from_epoch: u64, to_epoch: u64) -> Result<Vec<u8>, SlsError> {
+        Ok(self.send_delta_stats(from_epoch, to_epoch)?.0)
+    }
+
+    /// [`send_delta`](Sls::send_delta) plus what the stream carried —
+    /// the replication and migration layers size rounds on the stats.
+    pub fn send_delta_stats(
+        &self,
+        from_epoch: u64,
+        to_epoch: u64,
+    ) -> Result<(Vec<u8>, DeltaStats), SlsError> {
         let mut store = self.store.lock();
         let oids = store.objects_at(to_epoch)?;
         let mut e = Encoder::new();
@@ -118,6 +181,7 @@ impl Sls {
             e.u32(oids.len() as u32);
         });
         let mut emitted = 0u32;
+        let mut total_pages = 0u64;
         let mut bodies = Encoder::new();
         for oid in oids {
             let kind = store.kind(oid)?;
@@ -148,6 +212,7 @@ impl Sls {
             body.u16(kind.to_raw());
             body.bytes(&meta);
             body.u32(pages.len() as u32);
+            total_pages += pages.len() as u64;
             for pi in pages {
                 let data = store.read_page(oid, pi, to_epoch)?;
                 body.u64(pi);
@@ -165,7 +230,14 @@ impl Sls {
             e.u32(emitted);
         });
         out.raw(&bodies.finish_vec());
-        Ok(out.finish_vec())
+        let stream = out.finish_vec();
+        let stats = DeltaStats {
+            epoch: to_epoch,
+            objects: emitted as u64,
+            pages: total_pages,
+            bytes: stream.len() as u64,
+        };
+        Ok((stream, stats))
     }
 
     /// Convenience: migrate the image at `epoch` into `target`, restoring

@@ -31,7 +31,14 @@ impl World {
 
     /// Boots with `bytes` per store device.
     pub fn with_store_bytes(bytes: u64) -> Self {
-        let clock = Clock::new();
+        Self::with_store_bytes_on(Clock::new(), bytes)
+    }
+
+    /// Boots with `bytes` per store device on an existing virtual
+    /// clock — how `aurora-cluster` puts N machines in one discrete-event
+    /// timeline: every node's kernel, store, and device stack charge the
+    /// same clock, so cross-node message timings compose with local I/O.
+    pub fn with_store_bytes_on(clock: Clock, bytes: u64) -> Self {
         let model = CostModel::default();
         let kernel = Kernel::new(clock.clone(), model.clone());
         let dev = testbed_array(&clock, bytes);

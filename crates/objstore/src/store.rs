@@ -284,6 +284,11 @@ pub struct ObjectStore {
     /// Page-cache hit/miss counters since creation (observability only).
     cache_hits: u64,
     cache_misses: u64,
+    /// Replication acks from remote nodes: group → node →
+    /// `(epoch, durable_at)` of the node's newest applied commit record.
+    /// Volatile — a reboot starts with no view of its peers, and the
+    /// cluster layer re-learns the floors from the next acks.
+    remote_acks: HashMap<u64, HashMap<u64, (u64, u64)>>,
 }
 
 /// A point-in-time observability snapshot of the store, for the metrics
@@ -338,6 +343,7 @@ impl ObjectStore {
             page_cache: HashMap::new(),
             cache_hits: 0,
             cache_misses: 0,
+            remote_acks: HashMap::new(),
         };
         store.write_superblock()?;
         Ok(store)
@@ -398,6 +404,7 @@ impl ObjectStore {
             page_cache: HashMap::new(),
             cache_hits: 0,
             cache_misses: 0,
+            remote_acks: HashMap::new(),
         };
         store.replay()?;
         Ok(store)
@@ -657,6 +664,58 @@ impl ObjectStore {
     /// the store opened).
     pub fn durable_floor(&self, group: u64) -> u64 {
         self.last_durable.get(&group).copied().unwrap_or(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Replication acks (cluster)
+    // ------------------------------------------------------------------
+
+    /// Records that `node` has applied and made durable the replicated
+    /// commit record for `epoch` of `group` (its durable floor stood at
+    /// `durable_at` on the node's shared virtual clock). Acks only move
+    /// forward — a late ack for an older epoch never regresses a node's
+    /// recorded floor.
+    pub fn note_remote_ack(&mut self, group: u64, node: u64, epoch: u64, durable_at: u64) {
+        let entry = self
+            .remote_acks
+            .entry(group)
+            .or_default()
+            .entry(node)
+            .or_insert((0, 0));
+        if epoch >= entry.0 {
+            *entry = (epoch, durable_at.max(entry.1));
+        }
+    }
+
+    /// The newest epoch of `group` acked by at least `quorum` nodes
+    /// (counting every node that has ever acked, the leader included if
+    /// it acks itself). 0 until a quorum exists — callers treat that as
+    /// "nothing released yet".
+    pub fn quorum_acked_epoch(&self, group: u64, quorum: usize) -> u64 {
+        let Some(acks) = self.remote_acks.get(&group) else { return 0 };
+        if acks.len() < quorum.max(1) {
+            return 0;
+        }
+        let mut epochs: Vec<u64> = acks.values().map(|&(e, _)| e).collect();
+        epochs.sort_unstable_by(|a, b| b.cmp(a));
+        epochs[quorum.max(1) - 1]
+    }
+
+    /// The virtual time by which `group`'s quorum-acked epoch was durable
+    /// on at least `quorum` nodes: the cluster-wide durable watermark.
+    pub fn quorum_durable_floor(&self, group: u64, quorum: usize) -> u64 {
+        let Some(acks) = self.remote_acks.get(&group) else { return 0 };
+        if acks.len() < quorum.max(1) {
+            return 0;
+        }
+        let mut floors: Vec<u64> = acks.values().map(|&(_, d)| d).collect();
+        floors.sort_unstable_by(|a, b| b.cmp(a));
+        floors[quorum.max(1) - 1]
+    }
+
+    /// Nodes that have acked any epoch of `group`.
+    pub fn remote_ack_count(&self, group: u64) -> usize {
+        self.remote_acks.get(&group).map_or(0, |m| m.len())
     }
 
     /// The draft the staging cursor points at, created on first use.

@@ -12,6 +12,8 @@
 //!   copy, …) with the paper-derived calibration documented in one place.
 //! * [`des`] — a small discrete-event engine used by the client/server
 //!   experiment harnesses (Memcached, RocksDB).
+//! * [`net`] — the latency/bandwidth/loss message fabric connecting
+//!   simulated nodes in multi-node (cluster) experiments.
 //! * [`stats`] — streaming histograms and percentile summaries.
 //! * [`codec`] — the hand-written, versioned binary codec used for every
 //!   on-disk record in the object store and for checkpoint serialization.
@@ -26,6 +28,7 @@ pub mod codec;
 pub mod cost;
 pub mod des;
 pub mod dist;
+pub mod net;
 pub mod rng;
 pub mod stats;
 pub mod sync;

@@ -24,6 +24,7 @@
 //! ```
 
 pub use aurora_apps as apps;
+pub use aurora_cluster as cluster;
 pub use aurora_core as core;
 pub use aurora_criu as criu;
 pub use aurora_fs as fs;
