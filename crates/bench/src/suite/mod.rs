@@ -5,6 +5,7 @@
 
 pub mod ablations;
 pub mod degraded_mode;
+pub mod delta_checkpoint;
 pub mod fig3_filebench;
 pub mod fig4_memcached_peak;
 pub mod fig5_memcached_pegged;
@@ -37,6 +38,7 @@ pub fn all() -> Vec<Entry> {
         ("ablations", ablations::run),
         ("group_scaling", group_scaling::run),
         ("degraded_mode", degraded_mode::run),
+        ("delta_checkpoint", delta_checkpoint::run),
         ("live_migration", live_migration::run),
     ]
 }

@@ -360,12 +360,13 @@ fn watch(period: u64, steps: u64) {
     let checker = InvariantChecker::arm(&trace);
     let sampler = w.enable_sampling(period);
     println!("sls watch — one line per metrics sample (virtual-time period {})", fmt_ns(period));
-    const COLS: [&str; 7] = [
+    const COLS: [&str; 8] = [
         "store.current_epoch",
         "frames.resident",
         "store.cache_pages",
         "pipeline.checkpoints",
         "dev.bytes_written",
+        "redo.appended",
         "device.health.worst",
         "cluster.quorum_lag",
     ];

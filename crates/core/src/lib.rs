@@ -128,6 +128,13 @@ pub struct CheckpointConfig {
     pub breaker_trip_failures: u32,
     /// How long a tripped breaker stays open, in virtual ns.
     pub breaker_cooldown_ns: u64,
+    /// Checkpoint write mode: sub-page redo records (the default) or
+    /// full page images per dirty page.
+    pub checkpoint_mode: CheckpointMode,
+    /// Largest contiguous changed span, in bytes, logged as a sub-page
+    /// redo delta; a wider diff (or a page with no resident parent-
+    /// shadow copy to diff against) falls back to a full-image record.
+    pub redo_delta_max: usize,
     /// Multiplier applied to every group's checkpoint period by
     /// [`Sls::tick`] while the device stack reports `Degraded` or worse:
     /// fewer, wider epochs give a limping device room to drain. `1`
@@ -141,9 +148,23 @@ impl Default for CheckpointConfig {
             retry: RetryPolicy::default(),
             breaker_trip_failures: 0,
             breaker_cooldown_ns: 50 * MS,
+            checkpoint_mode: CheckpointMode::Delta,
+            redo_delta_max: 2048,
             degraded_period_factor: 4,
         }
     }
+}
+
+/// How the checkpoint flush stage writes dirty pages (§15).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CheckpointMode {
+    /// One full 4 KiB image per dirty page (the pre-redo behavior;
+    /// still used as the fallback for un-diffable pages).
+    FullPage,
+    /// Diff each dirty page against its parent COW shadow and log the
+    /// changed span as a redo record — "the log is the database".
+    #[default]
+    Delta,
 }
 
 /// Per-group circuit-breaker state.
@@ -447,6 +468,12 @@ impl Sls {
             ("store.floor".into(), sg.floor),
             ("store.objects".into(), sg.objects),
             ("store.open_drafts".into(), sg.open_drafts),
+            ("redo.appended".into(), sg.redo_appended),
+            ("redo.chain_len.p95".into(), sg.redo_chain_len_p95),
+            ("redo.materializations".into(), sg.redo_materializations),
+            ("redo.bytes_saved".into(), sg.redo_bytes_saved),
+            ("redo.vcl".into(), sg.redo_vcl),
+            ("redo.vdl".into(), sg.redo_vdl),
             ("dev.queue_depth".into(), dq.depth),
             ("dev.bytes_in_flight".into(), dq.bytes_in_flight),
             ("dev.bytes_written".into(), dev_bytes),

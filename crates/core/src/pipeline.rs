@@ -652,6 +652,12 @@ impl GroupRun {
             pages_flushed: 0,
             bytes_flushed: 0,
             cleaned: Vec::new(),
+            redo_delta_max: match sls.config.checkpoint_mode {
+                crate::CheckpointMode::FullPage => None,
+                crate::CheckpointMode::Delta => Some(sls.config.redo_delta_max),
+            },
+            lineages: sls.lineage_oids.lock().clone(),
+            redo_records: 0,
         };
         // No `?` inside the hook loop: pages a partial flush marked
         // clean must reach `cleaned_pages` even when a later hook fails,

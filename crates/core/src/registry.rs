@@ -104,6 +104,15 @@ pub struct FlushCtx<'a> {
     /// across retries so an aborted checkpoint can re-dirty the pages —
     /// their "durable" copies die with the rolled-back epoch.
     pub cleaned: Vec<(aurora_vm::ObjId, u64)>,
+    /// Delta-checkpoint policy: `None` flushes full page images; `Some`
+    /// emits sub-page redo records with the contained payload cap (see
+    /// [`CheckpointConfig::redo_delta_max`](crate::CheckpointConfig)).
+    pub redo_delta_max: Option<usize>,
+    /// Lineage bindings at flush time: a restored branch's floor/resume
+    /// pin its redo chains to branch-visible versions.
+    pub lineages: HashMap<u64, crate::LineageBinding>,
+    /// Redo records appended by this flush (delta path only).
+    pub redo_records: u64,
 }
 
 /// Transient state while rebuilding one image: restored kernel ids per

@@ -61,6 +61,54 @@ impl Sls {
         epoch: u64,
         mode: RestoreMode,
     ) -> Result<RestoreReport, SlsError> {
+        self.restore_inner(manifest, epoch, mode, None)
+    }
+
+    /// Point-in-time restore (§15): rebuilds the group at any committed
+    /// *record* boundary, not just an epoch boundary. The base image is
+    /// the newest committed epoch entirely at or below `lsn`
+    /// ([`epoch_for_lsn`]); every page that changed after it is then
+    /// overlaid with its content as of the target LSN (chain replay via
+    /// [`read_page_at_lsn`]) and left dirty, so the branch's next
+    /// checkpoint re-commits the overlay. The object namespace (and
+    /// object sizes) resolve at base-epoch granularity; page *content*
+    /// resolves at record granularity.
+    ///
+    /// [`epoch_for_lsn`]: aurora_objstore::ObjectStore::epoch_for_lsn
+    /// [`read_page_at_lsn`]: aurora_objstore::ObjectStore::read_page_at_lsn
+    pub fn restore_at(
+        &mut self,
+        manifest: Oid,
+        lsn: u64,
+        mode: RestoreMode,
+    ) -> Result<RestoreReport, SlsError> {
+        let base = self
+            .store
+            .lock()
+            .epoch_for_lsn(lsn)
+            .ok_or(SlsError::BadImage("restore_at target below the history floor"))?;
+        self.restore_inner(manifest, base, mode, Some(lsn))
+    }
+
+    /// Group-level convenience for [`restore_at`](Sls::restore_at):
+    /// resolves the group's manifest and restores at `lsn`.
+    pub fn sls_restore_at(
+        &mut self,
+        gid: GroupId,
+        lsn: u64,
+        mode: RestoreMode,
+    ) -> Result<RestoreReport, SlsError> {
+        let manifest = self.groups.get(&gid).ok_or(SlsError::NoSuchGroup(gid))?.manifest;
+        self.restore_at(manifest, lsn, mode)
+    }
+
+    fn restore_inner(
+        &mut self,
+        manifest: Oid,
+        epoch: u64,
+        mode: RestoreMode,
+        overlay: Option<u64>,
+    ) -> Result<RestoreReport, SlsError> {
         let clock = self.kernel.charge.clock().clone();
         let t0 = clock.now();
 
@@ -84,6 +132,40 @@ impl Sls {
         // Cross-object links that need the full population (in-flight
         // descriptors inside socket buffers), run to a fixpoint.
         registry.post_restore_all(self, epoch, mode, &mut rb)?;
+
+        // Point-in-time roll-forward: overlay every restored page that
+        // changed after the base epoch with its content as of the target
+        // LSN (chain replay in the store), left dirty so the branch's
+        // next checkpoint re-commits it.
+        if let Some(lsn) = overlay {
+            let changed = self.store.lock().modified_since(epoch);
+            let mut overlaid = 0u64;
+            for (kind, oid, id) in rb.entries() {
+                if kind != KObjKind::Mem {
+                    continue;
+                }
+                let obj = aurora_vm::ObjId(id);
+                let size_pages = self.kernel.vm.object(obj)?.size_pages;
+                for &(_, pi) in changed.iter().filter(|&&(o, _)| o == oid) {
+                    if pi >= size_pages {
+                        continue; // grew after the base epoch; size is epoch-granular
+                    }
+                    if let Some(p) = self.store.lock().read_page_at_lsn(oid, pi, lsn)? {
+                        self.kernel.vm.install_page(obj, pi, p, true)?;
+                        rb.pages_read += 1;
+                        overlaid += 1;
+                    }
+                }
+            }
+            let trace = self.kernel.charge.trace();
+            if trace.is_enabled() {
+                trace.instant(
+                    "core",
+                    "restore.at",
+                    &[("lsn", lsn), ("base_epoch", epoch), ("overlaid", overlaid)],
+                );
+            }
+        }
 
         // Register the restored group so subsequent checkpoints continue
         // the same on-disk objects.

@@ -4,10 +4,17 @@
 
 use crate::restore::{RestoreMode, RestoreReport};
 use crate::{Sls, SlsError};
-use aurora_objstore::{ObjectKind, Oid, PAGE};
+use aurora_objstore::{ObjectKind, Oid, RedoWrite, PAGE};
 use aurora_sim::codec::{Decoder, Encoder};
+use aurora_sim::fnv1a;
 
 const STREAM_TAG: u16 = 0x5354;
+
+/// Stream format version. v1 carries full page images; v2 delta streams
+/// carry per-page redo records (offset/payload/page-checksum), so a
+/// sealed epoch travels as exactly the records the leader logged —
+/// delta compression on the wire. Receivers accept both.
+const STREAM_VERSION: u16 = 2;
 
 /// What a delta stream carried — the replication/migration layers size
 /// rounds and convergence checks on these.
@@ -97,7 +104,7 @@ impl Sls {
         let mut manifests = Vec::new();
         let mut pages = 0u64;
         let mut d = Decoder::new(stream);
-        let (_v, mut hdr) = d.record(STREAM_TAG, 1)?;
+        let (v, mut hdr) = d.record(STREAM_TAG, STREAM_VERSION)?;
         let src_epoch = hdr.u64()?;
         let count = hdr.u32()?;
         let mut store = self.store.lock();
@@ -114,18 +121,88 @@ impl Sls {
                 store.set_meta(oid, &meta)?;
             }
             let npages = body.u32()?;
-            let mut batch: Vec<(u64, aurora_objstore::PageRef)> =
-                Vec::with_capacity(npages as usize);
-            for _ in 0..npages {
-                let pi = body.u64()?;
-                let page: &[u8; PAGE] =
-                    body.raw(PAGE)?.try_into().expect("exactly one page");
-                batch.push((pi, store.arena().alloc(*page)));
-            }
-            pages += batch.len() as u64;
-            if !batch.is_empty() {
-                // One charged bulk write per imported object.
-                store.write_pages(oid, &batch)?;
+            if v < 2 {
+                let mut batch: Vec<(u64, aurora_objstore::PageRef)> =
+                    Vec::with_capacity(npages as usize);
+                for _ in 0..npages {
+                    let pi = body.u64()?;
+                    let page: &[u8; PAGE] =
+                        body.raw(PAGE)?.try_into().expect("exactly one page");
+                    batch.push((pi, store.arena().alloc(*page)));
+                }
+                pages += batch.len() as u64;
+                if !batch.is_empty() {
+                    // One charged bulk write per imported object.
+                    store.write_pages(oid, &batch)?;
+                }
+            } else {
+                // v2: per-page redo records. Replay them onto the local
+                // copy of the page (a follower in sync through the
+                // stream's `from` epoch holds the same base the sender
+                // chained on), verifying the materialized-page checksum
+                // at every record, then log the result locally as one
+                // combined redo write.
+                let mut batch: Vec<RedoWrite> = Vec::with_capacity(npages as usize);
+                for _ in 0..npages {
+                    let pi = body.u64()?;
+                    let nrecs = body.u32()?;
+                    let mut buf = [0u8; PAGE];
+                    let mut base_csum = 0u64;
+                    let mut span: Option<(usize, usize)> = None; // (off, end)
+                    let mut any_full = false;
+                    for r in 0..nrecs {
+                        let full = body.bool()?;
+                        let offset = body.u32()? as usize;
+                        let payload = body.bytes()?;
+                        let page_csum = body.u64()?;
+                        if full {
+                            if payload.len() != PAGE {
+                                return Err(SlsError::BadImage("short full record in stream"));
+                            }
+                            buf.copy_from_slice(payload);
+                            any_full = true;
+                        } else {
+                            if r == 0 {
+                                // Deltas only: seed with the local copy.
+                                let base = store
+                                    .last_epoch()
+                                    .and_then(|e| store.read_page(oid, pi, e).ok());
+                                if let Some(p) = &base {
+                                    buf.copy_from_slice(p.bytes());
+                                }
+                                base_csum = fnv1a(&buf);
+                            }
+                            let end = offset + payload.len();
+                            if end > PAGE {
+                                return Err(SlsError::BadImage("record overruns page"));
+                            }
+                            buf[offset..end].copy_from_slice(payload);
+                            span = Some(match span {
+                                None => (offset, end),
+                                Some((o, e)) => (o.min(offset), e.max(end)),
+                            });
+                        }
+                        if fnv1a(&buf) != page_csum {
+                            return Err(SlsError::BadImage("delta stream page checksum"));
+                        }
+                    }
+                    if nrecs == 0 {
+                        continue;
+                    }
+                    let page = store.arena().alloc(buf);
+                    let delta = match (any_full, span) {
+                        // The stream began at a full image: log a full
+                        // image locally too (nothing older to chain on).
+                        (true, _) => None,
+                        (false, Some((o, e))) => Some((o as u32, buf[o..e].to_vec())),
+                        (false, None) => None,
+                    };
+                    batch.push(RedoWrite { pindex: pi, page, delta, base_csum });
+                }
+                pages += batch.len() as u64;
+                if !batch.is_empty() {
+                    store.append_redo(oid, &batch)?;
+                }
             }
             if kind == ObjectKind::Posix(crate::oidmap::tag::MANIFEST) {
                 manifests.push(oid);
@@ -175,11 +252,6 @@ impl Sls {
     ) -> Result<(Vec<u8>, DeltaStats), SlsError> {
         let mut store = self.store.lock();
         let oids = store.objects_at(to_epoch)?;
-        let mut e = Encoder::new();
-        e.record(STREAM_TAG, 1, |e| {
-            e.u64(to_epoch);
-            e.u32(oids.len() as u32);
-        });
         let mut emitted = 0u32;
         let mut total_pages = 0u64;
         let mut bodies = Encoder::new();
@@ -214,9 +286,18 @@ impl Sls {
             body.u32(pages.len() as u32);
             total_pages += pages.len() as u64;
             for pi in pages {
-                let data = store.read_page(oid, pi, to_epoch)?;
+                // The page's redo records in (from, to] — exactly the
+                // delta the leader logged, replayed by the receiver onto
+                // its own copy of the page.
+                let recs = store.page_records_in(oid, pi, from_epoch, to_epoch)?;
                 body.u64(pi);
-                body.raw(data.bytes());
+                body.u32(recs.len() as u32);
+                for r in &recs {
+                    body.bool(r.full);
+                    body.u32(r.offset);
+                    body.bytes(&r.payload);
+                    body.u64(r.page_csum);
+                }
             }
             let bytes = body.finish_vec();
             bodies.u32(bytes.len() as u32);
@@ -225,7 +306,7 @@ impl Sls {
         }
         // Rewrite the header with the emitted count.
         let mut out = Encoder::new();
-        out.record(STREAM_TAG, 1, |e| {
+        out.record(STREAM_TAG, STREAM_VERSION, |e| {
             e.u64(to_epoch);
             e.u32(emitted);
         });

@@ -45,14 +45,7 @@ pub(crate) fn meta(sls: &Sls, oid: Oid, epoch: u64) -> Result<Vec<u8>, SlsError>
     Ok(store.meta_at(oid, epoch)?.to_vec())
 }
 
-pub(crate) fn fnv(data: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in data {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
-}
+pub(crate) use aurora_sim::hash::fnv1a as fnv;
 
 struct ProcSer;
 

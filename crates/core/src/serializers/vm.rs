@@ -56,9 +56,27 @@ impl Serializer for MemSer {
     /// hold the same page index (a fork shadow under a system shadow),
     /// the newer version lands last and wins in the store. Each object's
     /// pages go out as one charged bulk write.
+    ///
+    /// In delta mode each dirty page is diffed against its parent COW
+    /// shadow's copy (the page's content at the last checkpoint): the
+    /// changed span becomes a sub-page redo record, and only when the
+    /// span exceeds the configured cap — or no parent copy is resident —
+    /// does the page fall back to a full image. The store demotes any
+    /// delta whose base doesn't match the version it would chain on.
     fn flush(&self, ctx: &mut FlushCtx<'_>) -> Result<(), SlsError> {
-        let FlushCtx { kernel, store, oids, reach, pages_flushed, bytes_flushed, cleaned, .. } =
-            ctx;
+        let FlushCtx {
+            kernel,
+            store,
+            oids,
+            reach,
+            pages_flushed,
+            bytes_flushed,
+            cleaned,
+            redo_delta_max,
+            lineages,
+            redo_records,
+            ..
+        } = ctx;
         for &obj in reach.mem_objs.iter().rev() {
             if matches!(kernel.vm.object(obj)?.kind, ObjKind::Device { .. }) {
                 continue; // device pages are re-injected at restore (§5.3)
@@ -66,7 +84,7 @@ impl Serializer for MemSer {
             let lineage = kernel.vm.object(obj)?.lineage.0;
             let oid =
                 oids.get(KObj::Mem(lineage)).ok_or(SlsError::BadImage("unassigned memory object"))?;
-            let dirty: Vec<u64> = kernel
+            let mut dirty: Vec<u64> = kernel
                 .vm
                 .resident_page_indices(obj)?
                 .into_iter()
@@ -76,19 +94,66 @@ impl Serializer for MemSer {
             if dirty.is_empty() {
                 continue;
             }
-            // Frames travel into the store by ref: a checkpoint flush
-            // copies zero page bytes on the host.
-            let mut batch: Vec<(u64, aurora_objstore::PageRef)> = Vec::with_capacity(dirty.len());
-            for &pi in &dirty {
-                batch.push((pi, kernel.vm.page_ref(obj, pi)?));
+            // Flush in page order: LSN assignment becomes a pure function
+            // of the dirty set, not of hash-map iteration order.
+            dirty.sort_unstable();
+            match *redo_delta_max {
+                None => {
+                    // Full-page mode. Frames travel into the store by
+                    // ref: the flush copies zero page bytes on the host.
+                    let mut batch: Vec<(u64, aurora_objstore::PageRef)> =
+                        Vec::with_capacity(dirty.len());
+                    for &pi in &dirty {
+                        batch.push((pi, kernel.vm.page_ref(obj, pi)?));
+                    }
+                    store.write_pages(oid, &batch)?;
+                    *pages_flushed += batch.len() as u64;
+                    *bytes_flushed += (batch.len() * PAGE) as u64;
+                }
+                Some(cap) => {
+                    let mut batch: Vec<aurora_objstore::RedoWrite> =
+                        Vec::with_capacity(dirty.len());
+                    for &pi in &dirty {
+                        let page = kernel.vm.page_ref(obj, pi)?;
+                        let (delta, base_csum) = match kernel.vm.backer_page_ref(obj, pi)? {
+                            // Shared frame ⇒ COW never broke ⇒ the page
+                            // is byte-identical to its committed parent
+                            // copy: a zero-length record marks the page
+                            // dirty-but-unchanged at this consistency
+                            // point without rewriting any bytes.
+                            Some(base) if aurora_objstore::PageRef::ptr_eq(&base, &page) => {
+                                (Some((0, Vec::new())), aurora_sim::fnv1a(base.bytes()))
+                            }
+                            Some(base) => match diff_span(base.bytes(), page.bytes()) {
+                                None => (Some((0, Vec::new())), aurora_sim::fnv1a(base.bytes())),
+                                Some((off, len)) if len <= cap => {
+                                    let payload = page.bytes()[off..off + len].to_vec();
+                                    (Some((off as u32, payload)), aurora_sim::fnv1a(base.bytes()))
+                                }
+                                // Span too wide: a full image is cheaper.
+                                Some(_) => (None, 0),
+                            },
+                            None => (None, 0),
+                        };
+                        match &delta {
+                            Some((_, p)) => {
+                                *bytes_flushed += p.len() as u64;
+                                *redo_records += 1;
+                            }
+                            None => *bytes_flushed += PAGE as u64,
+                        }
+                        batch.push(aurora_objstore::RedoWrite { pindex: pi, page, delta, base_csum });
+                    }
+                    let pin = lineages.get(&lineage).copied();
+                    let (floor, resume) = pin.map(|b| (b.floor, b.resume)).unwrap_or((u64::MAX, 0));
+                    store.append_redo_pinned(oid, &batch, floor, resume)?;
+                    *pages_flushed += batch.len() as u64;
+                }
             }
-            store.write_pages(oid, &batch)?;
             for &pi in &dirty {
                 kernel.vm.mark_clean(obj, pi)?;
                 cleaned.push((obj, pi));
             }
-            *pages_flushed += batch.len() as u64;
-            *bytes_flushed += (batch.len() * PAGE) as u64;
         }
         Ok(())
     }
@@ -193,4 +258,17 @@ impl Serializer for MemSer {
     fn rebind_key(&self, sls: &Sls, id: u64) -> Result<u64, SlsError> {
         Ok(sls.kernel.vm.object(ObjId(id))?.lineage.0)
     }
+}
+
+/// The contiguous byte span where `new` differs from `base`:
+/// `Some((offset, len))` covering the first through last differing
+/// byte, or `None` when the buffers are identical. One span, not a run
+/// list: redo records carry a single `(offset, payload)` and scattered
+/// small edits within a page are rare enough that the enclosing span is
+/// a good trade against per-run record overhead.
+fn diff_span(base: &[u8], new: &[u8]) -> Option<(usize, usize)> {
+    debug_assert_eq!(base.len(), new.len());
+    let first = base.iter().zip(new).position(|(a, b)| a != b)?;
+    let last = base.iter().zip(new).rposition(|(a, b)| a != b).expect("some byte differs");
+    Some((first, last - first + 1))
 }

@@ -31,4 +31,7 @@ pub mod store;
 pub use aurora_frames::{FrameArena, FrameGauges, PageRef};
 pub use explore::{Explorer, ScheduleReport, WorkloadOp};
 pub use journal::JournalStats;
-pub use store::{CommitInfo, ObjectKind, ObjectStore, Oid, StoreError, StoreGauges, PAGE};
+pub use store::{
+    CommitInfo, ObjectKind, ObjectStore, Oid, RedoRecordOut, RedoWrite, StoreError, StoreGauges,
+    PAGE,
+};

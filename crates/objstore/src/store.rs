@@ -163,9 +163,10 @@ pub type Result<T> = std::result::Result<T, StoreError>;
 struct ObjMeta {
     kind_raw: u16,
     size: u64,
-    /// Per-page version chain, ascending by epoch:
-    /// `(commit epoch, device block, FNV-1a of the page data)`.
-    versions: HashMap<u64, Vec<(u64, u64, u64)>>,
+    /// Per-page version chain, ascending by epoch and (within a page) by
+    /// LSN — a page's writes are serialized by its group's pipeline, so
+    /// the two orders agree.
+    versions: HashMap<u64, Vec<PageVersion>>,
     /// Serialized object metadata per epoch, ascending.
     meta: Vec<(u64, Vec<u8>)>,
     created_epoch: u64,
@@ -207,7 +208,13 @@ const SUPERBLOCK_VERSION: u16 = 1;
 // v4 added the committing consistency group to the commit header, so
 // recovery can attribute every epoch to the group whose pipeline wrote
 // it. v3 records (no group field) replay as group 0.
-const RECORD_VERSION: u16 = 4;
+// v5 made the log the database: every page version is a redo record
+// with an LSN, chained per page via `prev_lsn`; sub-page delta records
+// pack many to a device block, and the header carries the epoch's
+// consistency-point LSN so watermarks and point-in-time restore survive
+// recovery. v4 page entries (no LSN) replay as full-image records with
+// synthetic LSNs in log order.
+const RECORD_VERSION: u16 = 5;
 
 /// Provenance tags for staged (uncommitted) state. A draft entry carries
 /// `PROV_BASE | group` in its epoch slot until the group's commit retags
@@ -222,16 +229,94 @@ fn prov_tag(group: u64) -> u64 {
     PROV_BASE | group
 }
 
-/// FNV-1a 64-bit, used to validate metadata records at recovery and,
-/// since record v3, every data page.
-pub(crate) fn fnv1a(data: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in data {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
+/// Page-cache key space for materialized redo pages. Packed redo blocks
+/// hold many records, so a materialized page cannot be cached under its
+/// block number; it is cached under `MAT_KEY | lsn` instead. The high
+/// bit keeps the two key spaces disjoint (no device has 2^62 blocks).
+const MAT_KEY: u64 = 1 << 62;
+
+/// One page version in the in-memory index. Since record v5 every
+/// version is a redo record: `lsn` orders it in the volume log,
+/// `prev_lsn` chains it to the version it amends, and `csum` covers the
+/// fully *materialized* page (validated after chain replay, not against
+/// raw record bytes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct PageVersion {
+    /// Commit epoch, or a provenance tag while staged.
+    epoch: u64,
+    /// Log sequence number, assigned at write (not commit) time.
+    lsn: u64,
+    /// Full-image versions: the data block. Delta records: the first
+    /// device block of the packed record.
+    block: u64,
+    /// Byte offset of the record header within `block` (packed records
+    /// only; 0 for raw full-image blocks).
+    byte_off: u32,
+    /// Encoded record length in bytes (packed records; `PAGE` for raw).
+    rec_len: u32,
+    /// The previous version's LSN (0 = none). Materialization walks this
+    /// chain back to a full-image record.
+    prev_lsn: u64,
+    /// Full-image record — a chain-walk terminator.
+    full: bool,
+    /// Packed redo record (parse at `block`+`byte_off`) vs a raw page
+    /// block holding exactly the page bytes.
+    redo: bool,
+    /// FNV-1a of the materialized page.
+    csum: u64,
 }
+
+impl PageVersion {
+    /// Device blocks the encoded record spans.
+    fn covering_blocks(&self) -> impl Iterator<Item = u64> {
+        let n = ((self.byte_off as u64 + self.rec_len as u64).div_ceil(PAGE as u64)).max(1);
+        self.block..self.block + n
+    }
+}
+
+/// One page write handed to [`ObjectStore::append_redo`]. `page` is the
+/// fully materialized new content (cached and checksummed); `delta`
+/// carries the sub-page payload actually logged, or `None` for a
+/// full-image record.
+#[derive(Clone, Debug)]
+pub struct RedoWrite {
+    /// Page index within the object.
+    pub pindex: u64,
+    /// The materialized new page.
+    pub page: PageRef,
+    /// `(byte offset, payload)` of the changed span; `None` logs a full
+    /// image. Deltas require a prior version to chain on — the store
+    /// promotes chain-less deltas to full images.
+    pub delta: Option<(u32, Vec<u8>)>,
+    /// FNV-1a of the base content the delta was diffed against (ignored
+    /// for full images). The store demotes the record to a full image
+    /// when this doesn't match the version it would chain on: a stale
+    /// diff base must never enter a chain, or replay would materialize
+    /// the wrong page.
+    pub base_csum: u64,
+}
+
+/// A decoded redo record, as handed to replication streams: enough to
+/// replay the page change on another node.
+#[derive(Clone, Debug)]
+pub struct RedoRecordOut {
+    /// Log sequence number on the source node.
+    pub lsn: u64,
+    /// Full-image record (payload is the whole page).
+    pub full: bool,
+    /// Byte offset of `payload` within the page.
+    pub offset: u32,
+    /// The changed bytes.
+    pub payload: Vec<u8>,
+    /// FNV-1a of the page after applying this record.
+    pub page_csum: u64,
+}
+
+/// FNV-1a 64-bit (the workspace [`ContentHasher`]), used to validate
+/// metadata records at recovery and, since record v3, every data page.
+///
+/// [`ContentHasher`]: aurora_sim::hash::ContentHasher
+pub(crate) use aurora_sim::hash::fnv1a;
 
 /// The Aurora object store.
 pub struct ObjectStore {
@@ -289,6 +374,37 @@ pub struct ObjectStore {
     /// Volatile — a reboot starts with no view of its peers, and the
     /// cluster layer re-learns the floors from the next acks.
     remote_acks: HashMap<u64, HashMap<u64, (u64, u64)>>,
+    /// Next log sequence number. LSNs are assigned at write time (one
+    /// per page version, across all groups) and recovered from the
+    /// newest commit record's consistency-point LSN.
+    next_lsn: u64,
+    /// Per-block reference counts for packed redo blocks: records share
+    /// blocks, so a block frees only when its last record is released.
+    redo_refs: HashMap<u64, u32>,
+    /// Device completions of appended records, in LSN order — the VCL
+    /// scan consumes a durable prefix of this.
+    completions: Vec<(u64, u64)>,
+    /// Highest LSN below which every record's device write has
+    /// completed (Volume Complete LSN). Monotone.
+    vcl: u64,
+    /// Consistency-point LSNs of committed epochs awaiting a durable
+    /// commit record: `(cpl, durable_at)`, in commit order.
+    pending_cpls: Vec<(u64, u64)>,
+    /// Highest committed consistency-point LSN whose commit record is
+    /// durable and whose log prefix is complete (Volume Durable LSN).
+    /// Invariant: `vdl <= vcl`.
+    vdl: u64,
+    /// Consistency-point LSN per committed epoch (the highest LSN any of
+    /// its page records carries; epochs without page writes inherit the
+    /// previous point).
+    epoch_cpls: HashMap<u64, u64>,
+    /// Redo observability counters since open.
+    redo_appended: u64,
+    redo_materializations: u64,
+    redo_bytes_saved: u64,
+    /// Materialization chain-length histogram: bucket i counts chains of
+    /// length i (last bucket is open-ended).
+    chain_hist: [u64; 32],
 }
 
 /// A point-in-time observability snapshot of the store, for the metrics
@@ -311,6 +427,19 @@ pub struct StoreGauges {
     pub objects: u64,
     /// Concurrently open drafts (groups with staged, uncommitted state).
     pub open_drafts: u64,
+    /// Redo records appended (delta + full) since open.
+    pub redo_appended: u64,
+    /// Pages materialized by chain replay since open.
+    pub redo_materializations: u64,
+    /// Device bytes saved by packing sub-page records vs full pages.
+    pub redo_bytes_saved: u64,
+    /// p95 of the materialization chain length (0 until one happens).
+    pub redo_chain_len_p95: u64,
+    /// Volume Complete LSN: every record at or below it is on the device.
+    pub redo_vcl: u64,
+    /// Volume Durable LSN: highest committed consistency point whose
+    /// commit record is durable. Never exceeds `redo_vcl`.
+    pub redo_vdl: u64,
 }
 
 impl ObjectStore {
@@ -344,6 +473,17 @@ impl ObjectStore {
             cache_hits: 0,
             cache_misses: 0,
             remote_acks: HashMap::new(),
+            next_lsn: 1,
+            redo_refs: HashMap::new(),
+            completions: Vec::new(),
+            vcl: 0,
+            pending_cpls: Vec::new(),
+            vdl: 0,
+            epoch_cpls: HashMap::new(),
+            redo_appended: 0,
+            redo_materializations: 0,
+            redo_bytes_saved: 0,
+            chain_hist: [0; 32],
         };
         store.write_superblock()?;
         Ok(store)
@@ -405,6 +545,17 @@ impl ObjectStore {
             cache_hits: 0,
             cache_misses: 0,
             remote_acks: HashMap::new(),
+            next_lsn: 1,
+            redo_refs: HashMap::new(),
+            completions: Vec::new(),
+            vcl: 0,
+            pending_cpls: Vec::new(),
+            vdl: 0,
+            epoch_cpls: HashMap::new(),
+            redo_appended: 0,
+            redo_materializations: 0,
+            redo_bytes_saved: 0,
+            chain_hist: [0; 32],
         };
         store.replay()?;
         Ok(store)
@@ -447,12 +598,19 @@ impl ObjectStore {
             self.prune_below_floor(floor);
         }
         // Conservative allocator recovery: everything at or above the
-        // highest referenced block is free.
+        // highest referenced block is free. Packed-record reference
+        // counts rebuild from the surviving index in the same pass.
         let mut high = self.data_start;
+        self.redo_refs.clear();
         for o in self.objects.values() {
             for vs in o.versions.values() {
-                for &(_, b, _) in vs {
-                    high = high.max(b + 1);
+                for v in vs {
+                    for b in v.covering_blocks() {
+                        high = high.max(b + 1);
+                        if v.redo {
+                            *self.redo_refs.entry(b).or_insert(0) += 1;
+                        }
+                    }
                 }
             }
             if let Some(j) = &o.journal {
@@ -460,6 +618,12 @@ impl ObjectStore {
             }
         }
         self.next_block = high;
+        // Everything that survived recovery is durable by construction:
+        // both watermarks restart at the recovered log's tip.
+        let tip = self.next_lsn - 1;
+        self.vcl = tip;
+        self.vdl = tip;
+        self.note_watermarks();
         Ok(())
     }
 
@@ -485,6 +649,14 @@ impl ObjectStore {
         } else {
             0
         };
+        // v5 carries the epoch's consistency-point LSN so watermarks and
+        // point-in-time restore survive recovery.
+        let cpl = if v >= 5 {
+            let Ok(c) = body.u64() else { return Ok(None) };
+            Some(c)
+        } else {
+            None
+        };
         let Ok(floor) = body.u64() else { return Ok(None) };
         let Ok(nblocks) = body.u64() else { return Ok(None) };
         let Ok(len) = body.u64() else { return Ok(None) };
@@ -501,7 +673,7 @@ impl ObjectStore {
         if len > payload.len() || fnv1a(&payload[..len]) != checksum {
             return Ok(None); // incomplete commit: data raced the crash
         }
-        self.apply_record(epoch, &payload[..len])?;
+        self.apply_record(v, epoch, &payload[..len])?;
         let trace = self.charge.trace();
         if trace.is_enabled() {
             trace.instant(
@@ -512,6 +684,11 @@ impl ObjectStore {
         }
         self.epochs.push(epoch);
         self.epoch_groups.insert(epoch, group);
+        // Pre-v5 epochs replayed with synthetic LSNs; their consistency
+        // point is whatever the synthetic counter reached.
+        let cpl = cpl.unwrap_or(self.next_lsn - 1);
+        self.next_lsn = self.next_lsn.max(cpl + 1);
+        self.epoch_cpls.insert(epoch, cpl);
         self.floor = self.floor.max(floor);
         self.cur_epoch = epoch + 1;
         self.meta_head = head + 1 + nblocks;
@@ -551,7 +728,7 @@ impl ObjectStore {
         Ok(None)
     }
 
-    fn apply_record(&mut self, epoch: u64, payload: &[u8]) -> Result<()> {
+    fn apply_record(&mut self, v: u16, epoch: u64, payload: &[u8]) -> Result<()> {
         let mut d = Decoder::new(payload);
         let count = d.u32()?;
         for _ in 0..count {
@@ -578,9 +755,46 @@ impl ObjectStore {
             }
             for _ in 0..npages {
                 let pindex = d.u64()?;
-                let block = d.u64()?;
-                let csum = d.u64()?;
-                obj.versions.entry(pindex).or_default().push((epoch, block, csum));
+                let entry = if v >= 5 {
+                    let lsn = d.u64()?;
+                    let prev_lsn = d.u64()?;
+                    let block = d.u64()?;
+                    let byte_off = d.u32()?;
+                    let rec_len = d.u32()?;
+                    let flags = d.u8()?;
+                    let csum = d.u64()?;
+                    PageVersion {
+                        epoch,
+                        lsn,
+                        block,
+                        byte_off,
+                        rec_len,
+                        prev_lsn,
+                        full: flags & 1 != 0,
+                        redo: flags & 2 != 0,
+                        csum,
+                    }
+                } else {
+                    // Pre-v5: a raw full-image block with no LSN. Assign
+                    // synthetic LSNs in log order so chains and
+                    // watermarks are well-defined over old history.
+                    let block = d.u64()?;
+                    let csum = d.u64()?;
+                    let lsn = self.next_lsn;
+                    self.next_lsn += 1;
+                    PageVersion {
+                        epoch,
+                        lsn,
+                        block,
+                        byte_off: 0,
+                        rec_len: PAGE as u32,
+                        prev_lsn: 0,
+                        full: true,
+                        redo: false,
+                        csum,
+                    }
+                };
+                obj.versions.entry(pindex).or_default().push(entry);
             }
             let has_journal = d.bool()?;
             if has_journal {
@@ -743,6 +957,79 @@ impl ObjectStore {
         Ok(b)
     }
 
+    /// Allocates `n` physically contiguous blocks for a packed redo
+    /// extent. Bump-only: packed records share blocks, so recycled
+    /// singles from the free list are useless here.
+    fn alloc_extent(&mut self, n: u64) -> Result<u64> {
+        self.reclaim_matured();
+        if self.next_block + n > self.capacity {
+            return Err(StoreError::Full);
+        }
+        let b = self.next_block;
+        self.next_block += n;
+        Ok(b)
+    }
+
+    /// Releases one page version's storage: a raw full-image block frees
+    /// directly; a packed record decrements its blocks' reference counts
+    /// (freeing each block when its last record goes) and drops the
+    /// materialized frame from the cache. Freed blocks go to `freed`, not
+    /// straight to the free list — callers decide whether reclamation
+    /// must be fenced behind a durable floor commit.
+    fn release_version_into(
+        v: &PageVersion,
+        redo_refs: &mut HashMap<u64, u32>,
+        page_cache: &mut HashMap<u64, PageRef>,
+        freed: &mut Vec<u64>,
+    ) {
+        if !v.redo {
+            freed.push(v.block);
+            return;
+        }
+        page_cache.remove(&(MAT_KEY | v.lsn));
+        for b in v.covering_blocks() {
+            if let Some(r) = redo_refs.get_mut(&b) {
+                *r -= 1;
+                if *r == 0 {
+                    redo_refs.remove(&b);
+                    freed.push(b);
+                }
+            }
+        }
+    }
+
+    /// Advances the VCL over the completion list's durable prefix and
+    /// the VDL over durable commit points, then emits the `redo.watermark`
+    /// instant the online invariant checker observes (VDL ≤ VCL).
+    fn note_watermarks(&mut self) {
+        let now = self.charge.clock().now();
+        // VCL: every record below it has completed on the device. The
+        // completion list is in LSN order, so this consumes a prefix.
+        let mut i = 0;
+        while i < self.completions.len() && self.completions[i].1 <= now {
+            self.vcl = self.vcl.max(self.completions[i].0);
+            i += 1;
+        }
+        self.completions.drain(..i);
+        // VDL: the newest committed consistency point whose commit record
+        // is durable and whose log prefix is complete. Commit records
+        // chain per group, so points become durable in commit order.
+        let vcl = self.vcl;
+        let mut j = 0;
+        while j < self.pending_cpls.len() && self.pending_cpls[j].1 <= now {
+            let cpl = self.pending_cpls[j].0;
+            if cpl <= vcl {
+                self.vdl = self.vdl.max(cpl);
+            }
+            j += 1;
+        }
+        self.pending_cpls.drain(..j);
+        let trace = self.charge.trace();
+        if trace.is_enabled() {
+            trace.instant("objstore", "redo.watermark", &[("vcl", self.vcl), ("vdl", self.vdl)]);
+        }
+    }
+
     /// Moves reclaimed blocks whose fencing commit has become durable
     /// onto the free list.
     fn reclaim_matured(&mut self) {
@@ -868,22 +1155,37 @@ impl ObjectStore {
         // medium flips afterwards is caught at read time. Computed once
         // per frame write — cache hits never re-verify.
         let csum = fnv1a(data.bytes());
+        let lsn = self.next_lsn;
+        self.next_lsn += 1;
+        self.completions.push((lsn, completion.done_at));
         let prov = prov_tag(self.staging);
         let o = self.objects.get_mut(&oid.0).expect("checked above");
         o.size = o.size.max((pindex + 1) * PAGE as u64);
         let vs = o.versions.entry(pindex).or_default();
-        let mut recycled = None;
-        match vs.iter_mut().rev().find(|(e, _, _)| *e == prov) {
-            Some((_, b, c)) => {
-                // Rewritten within the same in-flight epoch: the old
-                // block was never committed and is immediately free.
-                recycled = Some(*b);
-                *b = block;
-                *c = csum;
-            }
-            None => vs.push((prov, block, csum)),
+        let prev_lsn = vs.last().map(|v| v.lsn).unwrap_or(0);
+        let entry = PageVersion {
+            epoch: prov,
+            lsn,
+            block,
+            byte_off: 0,
+            rec_len: PAGE as u32,
+            prev_lsn,
+            full: true,
+            redo: false,
+            csum,
+        };
+        let mut freed = Vec::new();
+        // Rewritten within the same in-flight epoch: the superseded
+        // record was never committed (and, being the newest entry,
+        // nothing chains on it) — release it immediately.
+        if let Some(old) = vs.last().copied().filter(|v| v.epoch == prov) {
+            let slot = vs.last_mut().expect("just matched");
+            *slot = PageVersion { prev_lsn: old.prev_lsn, ..entry };
+            Self::release_version_into(&old, &mut self.redo_refs, &mut self.page_cache, &mut freed);
+        } else {
+            vs.push(entry);
         }
-        if let Some(b) = recycled {
+        for b in freed {
             self.page_cache.remove(&b);
             self.free_blocks.push(b);
         }
@@ -976,30 +1278,237 @@ impl ObjectStore {
         }
         self.charge.encode((pages.len() * PAGE) as u64);
         let prov = prov_tag(self.staging);
-        let o = self.objects.get_mut(&oid.0).expect("checked above");
-        let mut recycled = Vec::new();
+        let mut freed = Vec::new();
         for (&(block, pindex), (_, data)) in placed.iter().zip(pages) {
             let csum = fnv1a(data.bytes());
+            let lsn = self.next_lsn;
+            self.next_lsn += 1;
+            self.completions.push((lsn, max_done));
+            let o = self.objects.get_mut(&oid.0).expect("checked above");
             o.size = o.size.max((pindex + 1) * PAGE as u64);
             let vs = o.versions.entry(pindex).or_default();
-            match vs.iter_mut().rev().find(|(e, _, _)| *e == prov) {
-                Some((_, b, c)) => {
-                    recycled.push(*b);
-                    *b = block;
-                    *c = csum;
-                }
-                None => vs.push((prov, block, csum)),
+            let prev_lsn = vs.last().map(|v| v.lsn).unwrap_or(0);
+            let entry = PageVersion {
+                epoch: prov,
+                lsn,
+                block,
+                byte_off: 0,
+                rec_len: PAGE as u32,
+                prev_lsn,
+                full: true,
+                redo: false,
+                csum,
+            };
+            if let Some(old) = vs.last().copied().filter(|v| v.epoch == prov) {
+                let slot = vs.last_mut().expect("just matched");
+                *slot = PageVersion { prev_lsn: old.prev_lsn, ..entry };
+                Self::release_version_into(
+                    &old,
+                    &mut self.redo_refs,
+                    &mut self.page_cache,
+                    &mut freed,
+                );
+            } else {
+                vs.push(entry);
             }
         }
         for (&(block, _), (_, data)) in placed.iter().zip(pages) {
             self.page_cache.insert(block, data.clone());
         }
-        for b in recycled {
+        for b in freed {
             self.page_cache.remove(&b);
             self.free_blocks.push(b);
         }
         self.draft_mut().objects.insert(oid.0);
         Ok(())
+    }
+
+    /// Appends redo records for a batch of dirty pages — the delta
+    /// checkpoint write path ("the log is the database"). Sub-page delta
+    /// records are packed many to a block and written as one contiguous
+    /// extent; full-image writes (and deltas with no prior version to
+    /// chain on) take the raw-block path of [`write_pages`]. Each record
+    /// gets an LSN, chains on the page's previous version via
+    /// `prev_lsn`, and carries the checksum of the *materialized* page,
+    /// so reads validate after chain replay exactly as they would a full
+    /// image.
+    ///
+    /// [`write_pages`]: ObjectStore::write_pages
+    pub fn append_redo(&mut self, oid: Oid, writes: &[RedoWrite]) -> Result<()> {
+        self.append_redo_pinned(oid, writes, u64::MAX, 0)
+    }
+
+    /// [`append_redo`](Self::append_redo) for an object living on a
+    /// restored branch: deltas chain on the newest *branch-visible*
+    /// version (epoch ≤ `floor` or ≥ `resume`) — the version the caller
+    /// diffed against — never on a version from the abandoned future the
+    /// branch rewound away from.
+    pub fn append_redo_pinned(
+        &mut self,
+        oid: Oid,
+        writes: &[RedoWrite],
+        floor: u64,
+        resume: u64,
+    ) -> Result<()> {
+        if writes.is_empty() {
+            return Ok(());
+        }
+        if !self.objects.contains_key(&oid.0) {
+            return Err(StoreError::NoSuchObject(oid));
+        }
+        let visible = move |v: &PageVersion| v.epoch <= floor || v.epoch >= resume;
+        // Deltas need a version to chain on; everything else goes to the
+        // raw full-image path (a packed 4 KiB payload would span two
+        // blocks — strictly worse than one raw block).
+        let mut fulls: Vec<(u64, PageRef)> = Vec::new();
+        let mut deltas: Vec<&RedoWrite> = Vec::new();
+        for w in writes {
+            // Chain only when the newest branch-visible version is
+            // byte-identical to the caller's diff base (checksum match):
+            // replay applies the payload on top of that version.
+            let chained = self
+                .objects
+                .get(&oid.0)
+                .and_then(|o| o.versions.get(&w.pindex))
+                .and_then(|vs| vs.iter().rev().find(|v| visible(v)))
+                .is_some_and(|v| v.csum == w.base_csum);
+            match &w.delta {
+                Some(_) if chained => deltas.push(w),
+                _ => fulls.push((w.pindex, w.page.clone())),
+            }
+        }
+        if !fulls.is_empty() {
+            self.write_pages(oid, &fulls)?;
+        }
+        if deltas.is_empty() {
+            return Ok(());
+        }
+        // Encode every record into one buffer; records pack end to end
+        // and may straddle block boundaries within the extent.
+        let mut buf = Vec::new();
+        let mut entries: Vec<(u64, PageVersion)> = Vec::with_capacity(deltas.len());
+        let mut lsns: Vec<u64> = Vec::with_capacity(deltas.len());
+        for w in &deltas {
+            let (offset, payload) = w.delta.as_ref().expect("partitioned above");
+            let lsn = self.next_lsn;
+            self.next_lsn += 1;
+            lsns.push(lsn);
+            let o = self.objects.get(&oid.0).expect("checked above");
+            let prev_lsn = o
+                .versions
+                .get(&w.pindex)
+                .and_then(|vs| vs.iter().rev().find(|v| visible(v)))
+                .map(|v| v.lsn)
+                .unwrap_or(0);
+            let page_csum = fnv1a(w.page.bytes());
+            let mut e = Encoder::new();
+            e.u64(lsn);
+            e.u64(w.pindex);
+            e.u64(prev_lsn);
+            e.bool(false); // not a full image
+            e.u32(*offset);
+            e.bytes(payload);
+            e.u64(page_csum);
+            let body = e.finish_vec();
+            let rec_csum = fnv1a(&body);
+            let off = buf.len();
+            buf.extend_from_slice(&body);
+            buf.extend_from_slice(&rec_csum.to_le_bytes());
+            let rec_len = (buf.len() - off) as u32;
+            entries.push((
+                w.pindex,
+                PageVersion {
+                    epoch: prov_tag(self.staging),
+                    lsn,
+                    // Extent-relative until placement; the extent start is
+                    // added once the allocation succeeds.
+                    block: (off / PAGE) as u64,
+                    byte_off: (off % PAGE) as u32,
+                    rec_len,
+                    prev_lsn,
+                    full: false,
+                    redo: true,
+                    csum: page_csum,
+                },
+            ));
+            // Stage the entry now so a later delta to the same page in
+            // this batch chains on this record.
+            let o = self.objects.get_mut(&oid.0).expect("checked above");
+            o.size = o.size.max((w.pindex + 1) * PAGE as u64);
+            o.versions.entry(w.pindex).or_default().push(entries.last().expect("pushed").1);
+        }
+        let nblocks = (buf.len() as u64).div_ceil(PAGE as u64);
+        let extent = match self.alloc_extent(nblocks) {
+            Ok(b) => b,
+            Err(e) => {
+                self.unstage_entries(oid, &lsns);
+                return Err(e);
+            }
+        };
+        let mut padded = buf.clone();
+        padded.resize(nblocks as usize * PAGE, 0);
+        let res = self.dev.lock().write(extent, &padded);
+        let completion = match res {
+            Ok(c) => c,
+            Err(e) => {
+                // The extent was bump-allocated and never indexed; the
+                // blocks simply leak back at the next reclamation scan.
+                self.unstage_entries(oid, &lsns);
+                self.free_blocks.extend(extent..extent + nblocks);
+                return Err(StoreError::dev("append-redo", Some(oid), self.cur_epoch, self.staging)(
+                    e,
+                ));
+            }
+        };
+        self.charge.encode(buf.len() as u64);
+        // Fix up placement now that the extent start is known, count
+        // block references, and cache each materialized page under its
+        // record's LSN.
+        for ((pindex, entry), w) in entries.iter_mut().zip(&deltas) {
+            entry.block += extent;
+            let o = self.objects.get_mut(&oid.0).expect("checked above");
+            let vs = o.versions.get_mut(pindex).expect("staged above");
+            let slot = vs.iter_mut().rev().find(|v| v.lsn == entry.lsn).expect("staged");
+            slot.block = entry.block;
+            for b in entry.covering_blocks() {
+                *self.redo_refs.entry(b).or_insert(0) += 1;
+            }
+            self.page_cache.insert(MAT_KEY | entry.lsn, w.page.clone());
+        }
+        for (_, entry) in &entries {
+            self.completions.push((entry.lsn, completion.done_at));
+        }
+        let draft = self.draft_mut();
+        draft.max_completion = draft.max_completion.max(completion.done_at);
+        draft.objects.insert(oid.0);
+        self.redo_appended += deltas.len() as u64;
+        let saved = ((deltas.len() * PAGE) as u64).saturating_sub(nblocks * PAGE as u64);
+        self.redo_bytes_saved += saved;
+        let trace = self.charge.trace();
+        if trace.is_enabled() {
+            trace.instant(
+                "objstore",
+                "redo.append",
+                &[
+                    ("oid", oid.0),
+                    ("records", deltas.len() as u64),
+                    ("bytes", buf.len() as u64),
+                    ("saved", saved),
+                ],
+            );
+        }
+        Ok(())
+    }
+
+    /// Removes just-staged (never device-visible) entries after a failed
+    /// append, restoring the index exactly.
+    fn unstage_entries(&mut self, oid: Oid, lsns: &[u64]) {
+        if let Some(o) = self.objects.get_mut(&oid.0) {
+            for vs in o.versions.values_mut() {
+                vs.retain(|v| !lsns.contains(&v.lsn));
+            }
+            o.versions.retain(|_, vs| !vs.is_empty());
+        }
     }
 
     /// Replaces the serialized metadata of many objects for the current
@@ -1077,19 +1586,27 @@ impl ObjectStore {
                 }
                 None => body.bool(false),
             }
-            let mut pages: Vec<(u64, u64, u64)> = o
+            // Every staged record commits — a page may carry several
+            // (chained) records in one epoch, and losing an interior
+            // record would orphan the deltas above it.
+            let mut pages: Vec<(u64, PageVersion)> = o
                 .versions
                 .iter()
-                .filter_map(|(&pi, vs)| {
-                    vs.iter().rev().find(|(e, _, _)| *e == prov).map(|&(_, b, c)| (pi, b, c))
+                .flat_map(|(&pi, vs)| {
+                    vs.iter().filter(|v| v.epoch == prov).map(move |&v| (pi, v))
                 })
                 .collect();
-            pages.sort_unstable_by_key(|&(pi, _, _)| pi);
+            pages.sort_unstable_by_key(|&(pi, v)| (pi, v.lsn));
             body.u32(pages.len() as u32);
-            for (pi, b, c) in pages {
+            for (pi, v) in pages {
                 body.u64(pi);
-                body.u64(b);
-                body.u64(c);
+                body.u64(v.lsn);
+                body.u64(v.prev_lsn);
+                body.u64(v.block);
+                body.u32(v.byte_off);
+                body.u32(v.rec_len);
+                body.u8(v.full as u8 | (v.redo as u8) << 1);
+                body.u64(v.csum);
             }
             match &o.journal {
                 Some(j) if o.created_epoch == prov => {
@@ -1108,12 +1625,28 @@ impl ObjectStore {
         if self.meta_head + 1 + nblocks > self.data_start {
             return Err(StoreError::Full);
         }
+        // The epoch's consistency-point LSN: the highest LSN it commits,
+        // carrying the previous point forward when the epoch wrote no
+        // pages. Persisted in the header so watermarks and point-in-time
+        // restore survive recovery.
+        let staged_max_lsn = draft
+            .objects
+            .iter()
+            .filter_map(|oid| self.objects.get(oid))
+            .flat_map(|o| o.versions.values())
+            .flat_map(|vs| vs.iter())
+            .filter(|v| v.epoch == prov)
+            .map(|v| v.lsn)
+            .max();
+        let cpl = staged_max_lsn
+            .unwrap_or_else(|| self.epoch_cpls.values().copied().max().unwrap_or(0));
 
         let mut header = Encoder::new();
         header.record(0x434b, RECORD_VERSION, |e| {
             e.u64(MAGIC);
             e.u64(epoch);
             e.u64(group);
+            e.u64(cpl);
             e.u64(self.floor);
             e.u64(nblocks);
             e.u64(payload.len() as u64);
@@ -1182,13 +1715,13 @@ impl ObjectStore {
             for vs in o.versions.values_mut() {
                 let mut hit = false;
                 for v in vs.iter_mut() {
-                    if v.0 == prov {
-                        v.0 = epoch;
+                    if v.epoch == prov {
+                        v.epoch = epoch;
                         hit = true;
                     }
                 }
                 if hit {
-                    vs.sort_by_key(|&(e, _, _)| e);
+                    vs.sort_by_key(|v| (v.epoch, v.lsn));
                 }
             }
             let mut hit = false;
@@ -1209,6 +1742,9 @@ impl ObjectStore {
             let staged = std::mem::take(&mut self.staged_free);
             self.pending_free.push((durable.done_at, staged));
         }
+        self.epoch_cpls.insert(epoch, cpl);
+        self.pending_cpls.push((cpl, durable.done_at));
+        self.note_watermarks();
         Ok(CommitInfo {
             epoch,
             durable_at: durable.done_at,
@@ -1289,7 +1825,7 @@ impl ObjectStore {
         let mut v: Vec<u64> = o
             .versions
             .iter()
-            .filter(|(_, vs)| vs.iter().any(|&(e, _, _)| e <= epoch))
+            .filter(|(_, vs)| vs.iter().any(|v| v.epoch <= epoch))
             .map(|(&pi, _)| pi)
             .collect();
         v.sort();
@@ -1303,8 +1839,8 @@ impl ObjectStore {
         let vs = o.versions.get(&pindex).ok_or(StoreError::NoSuchPage(oid, pindex))?;
         vs.iter()
             .rev()
-            .find(|(e, _, _)| *e <= epoch)
-            .map(|&(e, _, _)| e)
+            .find(|v| v.epoch <= epoch)
+            .map(|v| v.epoch)
             .ok_or(StoreError::NoSuchPage(oid, pindex))
     }
 
@@ -1354,29 +1890,165 @@ impl ObjectStore {
 
     /// Reads one page as of `epoch`. A page-cache hit returns a shared
     /// ref to the resident frame (no device read, no re-checksum); a miss
-    /// reads the device, verifies, and leaves the frame cached.
+    /// reads the device — materializing delta versions by chain replay —
+    /// verifies, and leaves the frame cached.
     pub fn read_page(&mut self, oid: Oid, pindex: u64, epoch: u64) -> Result<PageRef> {
         self.check_epoch(epoch)?;
         let o = self.objects.get(&oid.0).ok_or(StoreError::NoSuchObject(oid))?;
         let vs = o.versions.get(&pindex).ok_or(StoreError::NoSuchPage(oid, pindex))?;
-        let &(_, block, csum) = vs
+        let v = *vs
             .iter()
             .rev()
-            .find(|(e, _, _)| *e <= epoch)
+            .find(|v| v.epoch <= epoch)
             .ok_or(StoreError::NoSuchPage(oid, pindex))?;
-        if let Some(p) = self.page_cache.get(&block) {
+        self.read_version(oid, pindex, epoch, v)
+    }
+
+    /// Serves one located version: cache hit, raw block read, or chain
+    /// materialization.
+    fn read_version(&mut self, oid: Oid, pindex: u64, epoch: u64, v: PageVersion) -> Result<PageRef> {
+        let key = if v.redo { MAT_KEY | v.lsn } else { v.block };
+        if let Some(p) = self.page_cache.get(&key) {
             self.cache_hits += 1;
             return Ok(p.clone());
         }
         self.cache_misses += 1;
+        if v.redo {
+            return self.materialize(oid, pindex, epoch, v, true);
+        }
         let data = {
             let mut dev = self.dev.lock();
-            dev.read(block, 1).map_err(StoreError::dev("read-page", Some(oid), epoch, 0))?
+            dev.read(v.block, 1).map_err(StoreError::dev("read-page", Some(oid), epoch, 0))?
         };
-        self.verify_page("verify-page", oid, epoch, block, csum, &data)?;
+        self.verify_page("verify-page", oid, epoch, v.block, v.csum, &data)?;
         let page = self.arena.alloc(data.as_slice().try_into().expect("one block"));
-        self.page_cache.insert(block, page.clone());
+        self.page_cache.insert(v.block, page.clone());
         Ok(page)
+    }
+
+    /// Materializes a delta version by walking its `prev_lsn` chain back
+    /// to a full-image record and replaying the records onto the base
+    /// frame. The result is verified against the version's materialized-
+    /// page checksum and (when `cache` is set) left in the page cache
+    /// under the record's LSN.
+    fn materialize(
+        &mut self,
+        oid: Oid,
+        pindex: u64,
+        epoch: u64,
+        v: PageVersion,
+        cache: bool,
+    ) -> Result<PageRef> {
+        // Collect the chain newest→oldest by LSN lookup; versions within
+        // a page are LSN-ascending, so this is a binary search each hop.
+        let mut chain: Vec<PageVersion> = vec![v];
+        {
+            let o = self.objects.get(&oid.0).ok_or(StoreError::NoSuchObject(oid))?;
+            let vs = o.versions.get(&pindex).ok_or(StoreError::NoSuchPage(oid, pindex))?;
+            let mut cur = v;
+            while !cur.full {
+                let prev = vs
+                    .binary_search_by_key(&cur.prev_lsn, |e| e.lsn)
+                    .ok()
+                    .map(|i| vs[i])
+                    .filter(|_| cur.prev_lsn != 0);
+                let Some(prev) = prev else {
+                    let trace = self.charge.trace();
+                    if trace.is_enabled() {
+                        trace.instant(
+                            "objstore",
+                            "redo.materialize",
+                            &[
+                                ("oid", oid.0),
+                                ("chain_len", chain.len() as u64),
+                                ("full_base", 0),
+                            ],
+                        );
+                    }
+                    return Err(StoreError::Corrupt("redo chain has no full-image base"));
+                };
+                chain.push(prev);
+                cur = prev;
+            }
+        }
+        // Base: a raw full-image block or a packed full record.
+        let base = *chain.last().expect("nonempty");
+        let mut buf: [u8; PAGE] = if base.redo {
+            let rec = self.decode_record(oid, epoch, base)?;
+            let mut b = [0u8; PAGE];
+            let off = rec.offset as usize;
+            b[off..off + rec.payload.len()].copy_from_slice(&rec.payload);
+            b
+        } else {
+            let data = {
+                let mut dev = self.dev.lock();
+                dev.read(base.block, 1)
+                    .map_err(StoreError::dev("materialize-base", Some(oid), epoch, 0))?
+            };
+            data.as_slice().try_into().expect("one block")
+        };
+        // Replay deltas oldest→newest on top of the base.
+        for link in chain.iter().rev().skip(1) {
+            let rec = self.decode_record(oid, epoch, *link)?;
+            let off = rec.offset as usize;
+            buf[off..off + rec.payload.len()].copy_from_slice(&rec.payload);
+        }
+        // The checksum covers the materialized page, validated after
+        // replay — a torn record or stale base surfaces here.
+        self.verify_page("verify-materialized", oid, epoch, v.block, v.csum, &buf)?;
+        self.redo_materializations += 1;
+        self.chain_hist[chain.len().min(self.chain_hist.len() - 1)] += 1;
+        let trace = self.charge.trace();
+        if trace.is_enabled() {
+            trace.instant(
+                "objstore",
+                "redo.materialize",
+                &[("oid", oid.0), ("chain_len", chain.len() as u64), ("full_base", 1)],
+            );
+        }
+        let page = self.arena.alloc(buf);
+        if cache {
+            self.page_cache.insert(MAT_KEY | v.lsn, page.clone());
+        }
+        Ok(page)
+    }
+
+    /// Reads and decodes one packed redo record, validating its record
+    /// checksum and identity fields.
+    fn decode_record(&mut self, oid: Oid, epoch: u64, v: PageVersion) -> Result<RedoRecordOut> {
+        debug_assert!(v.redo);
+        let nb = ((v.byte_off as u64 + v.rec_len as u64).div_ceil(PAGE as u64)).max(1);
+        let raw = {
+            let mut dev = self.dev.lock();
+            dev.read(v.block, nb).map_err(StoreError::dev("read-record", Some(oid), epoch, 0))?
+        };
+        let start = v.byte_off as usize;
+        let end = start + v.rec_len as usize;
+        if end > raw.len() || v.rec_len < 8 {
+            return Err(StoreError::Corrupt("redo record out of bounds"));
+        }
+        let rec = &raw[start..end];
+        let (body, csum_bytes) = rec.split_at(rec.len() - 8);
+        let rec_csum = u64::from_le_bytes(csum_bytes.try_into().expect("8 bytes"));
+        if fnv1a(body) != rec_csum {
+            // Emits the checksum.mismatch instant and returns the fatal
+            // device error (the record bytes themselves are wrong).
+            self.verify_page("verify-record", oid, epoch, v.block, rec_csum, body)?;
+            return Err(StoreError::Corrupt("redo record checksum"));
+        }
+        let mut d = Decoder::new(body);
+        let lsn = d.u64()?;
+        let pindex = d.u64()?;
+        let _prev = d.u64()?;
+        let full = d.bool()?;
+        let offset = d.u32()?;
+        let payload = d.bytes()?.to_vec();
+        let page_csum = d.u64()?;
+        if lsn != v.lsn || offset as usize + payload.len() > PAGE {
+            return Err(StoreError::Corrupt("redo record identity mismatch"));
+        }
+        let _ = pindex;
+        Ok(RedoRecordOut { lsn, full, offset, payload, page_csum })
     }
 
     /// Bulk-reads many pages as of `epoch`, coalescing physically
@@ -1391,32 +2063,43 @@ impl ObjectStore {
     ) -> Result<Vec<(u64, PageRef)>> {
         self.check_epoch(epoch)?;
         let o = self.objects.get(&oid.0).ok_or(StoreError::NoSuchObject(oid))?;
-        let mut located: Vec<(u64, u64, u64)> = Vec::with_capacity(pindices.len());
+        let mut located: Vec<(u64, PageVersion)> = Vec::with_capacity(pindices.len());
         for &pi in pindices {
             let vs = o.versions.get(&pi).ok_or(StoreError::NoSuchPage(oid, pi))?;
-            let &(_, block, csum) = vs
+            let v = *vs
                 .iter()
                 .rev()
-                .find(|(e, _, _)| *e <= epoch)
+                .find(|v| v.epoch <= epoch)
                 .ok_or(StoreError::NoSuchPage(oid, pi))?;
-            located.push((pi, block, csum));
+            located.push((pi, v));
         }
-        located.sort_by_key(|&(_, b, _)| b);
+        located.sort_by_key(|&(_, v)| v.block);
         let mut out = Vec::with_capacity(located.len());
-        // Cached blocks are served as shared refs without touching the
-        // device; only the misses form the read plan.
+        // Cached frames are served as shared refs without touching the
+        // device; delta versions materialize individually; only raw
+        // full-image misses form the coalesced read plan.
         let mut misses: Vec<(u64, u64, u64)> = Vec::with_capacity(located.len());
-        for &(pi, block, csum) in &located {
-            match self.page_cache.get(&block) {
+        let mut redo_misses: Vec<(u64, PageVersion)> = Vec::new();
+        for &(pi, v) in &located {
+            let key = if v.redo { MAT_KEY | v.lsn } else { v.block };
+            match self.page_cache.get(&key) {
                 Some(p) => {
                     self.cache_hits += 1;
                     out.push((pi, p.clone()));
                 }
+                None if v.redo => {
+                    self.cache_misses += 1;
+                    redo_misses.push((pi, v));
+                }
                 None => {
                     self.cache_misses += 1;
-                    misses.push((pi, block, csum));
+                    misses.push((pi, v.block, v.csum));
                 }
             }
+        }
+        for (pi, v) in redo_misses {
+            let page = self.materialize(oid, pi, epoch, v, true)?;
+            out.push((pi, page));
         }
         // A restore issues its whole read plan at once (deep NVMe
         // queues); it completes when the slowest extent does.
@@ -1473,30 +2156,143 @@ impl ObjectStore {
         let last = self.last_epoch().ok_or(StoreError::NoSuchEpoch(0))?;
         let o = self.objects.get(&oid.0).ok_or(StoreError::NoSuchObject(oid))?;
         let vs = o.versions.get(&pindex).ok_or(StoreError::NoSuchPage(oid, pindex))?;
-        let &(_, block, csum) = vs
+        let v = *vs
             .iter()
             .rev()
-            .find(|&&(e, _, _)| e <= last && (e <= floor || e >= resume))
+            .find(|v| v.epoch <= last && (v.epoch <= floor || v.epoch >= resume))
             .ok_or(StoreError::NoSuchPage(oid, pindex))?;
-        if let Some(p) = self.page_cache.get(&block) {
-            self.cache_hits += 1;
-            return Ok(p.clone());
-        }
-        self.cache_misses += 1;
-        let data = {
-            let mut dev = self.dev.lock();
-            dev.read(block, 1).map_err(StoreError::dev("read-page-pinned", Some(oid), last, 0))?
-        };
-        self.verify_page("verify-page", oid, last, block, csum, &data)?;
-        let page = self.arena.alloc(data.as_slice().try_into().expect("one block"));
-        self.page_cache.insert(block, page.clone());
-        Ok(page)
+        self.read_version(oid, pindex, last, v)
     }
 
     /// The next (in-progress) epoch number — the epoch a restore's
     /// branch resumes from.
     pub fn current_epoch(&self) -> u64 {
         self.cur_epoch
+    }
+
+    // ------------------------------------------------------------------
+    // Point-in-time (LSN) access
+    // ------------------------------------------------------------------
+
+    /// Consistency-point LSN recorded in `epoch`'s commit header.
+    pub fn epoch_cpl(&self, epoch: u64) -> Option<u64> {
+        self.epoch_cpls.get(&epoch).copied()
+    }
+
+    /// The base epoch for a point-in-time restore at `lsn`: the newest
+    /// committed epoch whose prefix — it plus every epoch committed
+    /// before it — contains only records with LSN ≤ `lsn`. Restoring
+    /// this epoch's image and overlaying later records at or below the
+    /// target yields exactly the state as of `lsn`. Uses a running-max
+    /// walk over per-epoch CPLs so interleaved cross-group commits stay
+    /// prefix-closed. `None` when `lsn` predates the history floor.
+    pub fn epoch_for_lsn(&self, lsn: u64) -> Option<u64> {
+        let mut base = None;
+        let mut running = 0u64;
+        for &e in &self.epochs {
+            running = running.max(self.epoch_cpls.get(&e).copied().unwrap_or(0));
+            if running <= lsn {
+                base = Some(e);
+            } else {
+                break;
+            }
+        }
+        base
+    }
+
+    /// Every committed page-record LSN, ascending — the valid
+    /// `restore_at` targets (each is a record boundary).
+    pub fn record_lsns(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .objects
+            .values()
+            .flat_map(|o| o.versions.values().flatten())
+            .filter(|v| v.epoch < PROV_BASE)
+            .map(|v| v.lsn)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Pages of live objects carrying a committed version in an epoch
+    /// newer than `epoch` — the overlay set a point-in-time restore must
+    /// re-read at its target LSN. Deterministically ordered.
+    pub fn modified_since(&self, epoch: u64) -> Vec<(Oid, u64)> {
+        let mut out = Vec::new();
+        for (&oid, o) in &self.objects {
+            if o.deleted_epoch.is_some() {
+                continue;
+            }
+            for (&pi, vs) in &o.versions {
+                if vs.iter().any(|v| v.epoch < PROV_BASE && v.epoch > epoch) {
+                    out.push((Oid(oid), pi));
+                }
+            }
+        }
+        out.sort_unstable_by_key(|&(o, p)| (o.0, p));
+        out
+    }
+
+    /// The page's content as of `lsn`: its newest committed record at or
+    /// below the target, materialized. `Ok(None)` when the page had no
+    /// committed record yet at that point in time.
+    pub fn read_page_at_lsn(&mut self, oid: Oid, pindex: u64, lsn: u64) -> Result<Option<PageRef>> {
+        let v = {
+            let o = self.objects.get(&oid.0).ok_or(StoreError::NoSuchObject(oid))?;
+            o.versions
+                .get(&pindex)
+                .and_then(|vs| vs.iter().rev().find(|v| v.epoch < PROV_BASE && v.lsn <= lsn))
+                .copied()
+        };
+        match v {
+            None => Ok(None),
+            Some(v) => self.read_version(oid, pindex, v.epoch, v).map(Some),
+        }
+    }
+
+    /// Decodes the committed records a page accumulated in epochs
+    /// `(from, to]`, oldest→newest, trimmed to start at the newest
+    /// full-image record in range (everything older in range is
+    /// superseded by it). The cluster layer streams these as the epoch
+    /// delta instead of full page images: a follower in sync through
+    /// `from` can replay them onto its own copy of the page.
+    pub fn page_records_in(
+        &mut self,
+        oid: Oid,
+        pindex: u64,
+        from: u64,
+        to: u64,
+    ) -> Result<Vec<RedoRecordOut>> {
+        let vs: Vec<PageVersion> = {
+            let o = self.objects.get(&oid.0).ok_or(StoreError::NoSuchObject(oid))?;
+            o.versions
+                .get(&pindex)
+                .map(|vs| {
+                    vs.iter()
+                        .copied()
+                        .filter(|v| v.epoch < PROV_BASE && v.epoch > from && v.epoch <= to)
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let start = vs.iter().rposition(|v| v.full).unwrap_or(0);
+        let mut out = Vec::with_capacity(vs.len() - start);
+        for v in &vs[start..] {
+            let rec = if v.redo {
+                self.decode_record(oid, v.epoch, *v)?
+            } else {
+                let p = self.read_version(oid, pindex, v.epoch, *v)?;
+                RedoRecordOut {
+                    lsn: v.lsn,
+                    full: true,
+                    offset: 0,
+                    payload: p.bytes().to_vec(),
+                    page_csum: v.csum,
+                }
+            };
+            out.push(rec);
+        }
+        Ok(out)
     }
 
     /// An observability snapshot for the metrics sampler. Pure read —
@@ -1511,7 +2307,30 @@ impl ObjectStore {
             floor: self.floor,
             objects: self.objects.values().filter(|o| o.deleted_epoch.is_none()).count() as u64,
             open_drafts: self.drafts.len() as u64,
+            redo_appended: self.redo_appended,
+            redo_materializations: self.redo_materializations,
+            redo_bytes_saved: self.redo_bytes_saved,
+            redo_chain_len_p95: Self::chain_p95(&self.chain_hist),
+            redo_vcl: self.vcl,
+            redo_vdl: self.vdl,
         }
+    }
+
+    /// 95th percentile of the materialization chain-length histogram.
+    fn chain_p95(hist: &[u64; 32]) -> u64 {
+        let total: u64 = hist.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = total - total / 20; // ceil(0.95 * total) for the discrete CDF
+        let mut cum = 0;
+        for (len, &n) in hist.iter().enumerate() {
+            cum += n;
+            if cum >= target {
+                return len as u64;
+            }
+        }
+        31
     }
 
     /// Verifies the data checksum of every committed page version in the
@@ -1524,10 +2343,15 @@ impl ObjectStore {
     /// [`StoreError::Device`] instead of a latent wrong read.
     pub fn scrub(&mut self) -> Result<u64> {
         let mut plan: Vec<(u64, u64, u64, u64)> = Vec::new(); // (oid, epoch, block, csum)
+        let mut redo_plan: Vec<(u64, u64, PageVersion)> = Vec::new(); // (oid, pindex, v)
         for (&oid, o) in &self.objects {
-            for vs in o.versions.values() {
-                for &(epoch, block, csum) in vs {
-                    plan.push((oid, epoch, block, csum));
+            for (&pi, vs) in &o.versions {
+                for v in vs {
+                    if v.redo {
+                        redo_plan.push((oid, pi, *v));
+                    } else {
+                        plan.push((oid, v.epoch, v.block, v.csum));
+                    }
                 }
             }
         }
@@ -1540,11 +2364,20 @@ impl ObjectStore {
             };
             self.verify_page("scrub", Oid(*oid), *epoch, *block, *csum, &data)?;
         }
+        // Redo versions re-materialize from the device (cache bypassed):
+        // record checksums and the materialized-page checksum both verify,
+        // so a torn record anywhere in a chain surfaces here.
+        redo_plan.sort_by_key(|&(_, _, v)| (v.block, v.byte_off));
+        let count = plan.len() + redo_plan.len();
+        for (oid, pi, v) in redo_plan {
+            let epoch = if v.epoch < PROV_BASE { v.epoch } else { self.cur_epoch };
+            self.materialize(Oid(oid), pi, epoch, v, false)?;
+        }
         let trace = self.charge.trace();
         if trace.is_enabled() {
-            trace.instant("objstore", "scrub.done", &[("pages", plan.len() as u64)]);
+            trace.instant("objstore", "scrub.done", &[("pages", count as u64)]);
         }
-        Ok(plan.len() as u64)
+        Ok(count as u64)
     }
 
     // ------------------------------------------------------------------
@@ -1589,8 +2422,13 @@ impl ObjectStore {
         for oid in dead {
             let o = self.objects.remove(&oid).expect("listed");
             for (_, vs) in o.versions {
-                for (_, b, _) in vs {
-                    freed.push(b);
+                for v in vs {
+                    Self::release_version_into(
+                        &v,
+                        &mut self.redo_refs,
+                        &mut self.page_cache,
+                        &mut freed,
+                    );
                 }
             }
             if let Some(j) = o.journal {
@@ -1599,9 +2437,37 @@ impl ObjectStore {
         }
         for o in self.objects.values_mut() {
             for vs in o.versions.values_mut() {
-                // Keep the newest version ≤ floor, free older ones.
-                while vs.len() >= 2 && vs[1].0 <= floor {
-                    freed.push(vs.remove(0).1);
+                // Keep the newest version ≤ floor plus every record some
+                // retained delta's chain still walks through — freeing an
+                // interior chain link would orphan the deltas above it.
+                let Some(mut k) = vs.iter().rposition(|v| v.epoch <= floor) else { continue };
+                let mut need: BTreeSet<u64> = BTreeSet::new();
+                for idx in k..vs.len() {
+                    let mut cur = vs[idx];
+                    while !cur.full && cur.prev_lsn != 0 {
+                        let Ok(i) = vs.binary_search_by_key(&cur.prev_lsn, |e| e.lsn) else {
+                            break;
+                        };
+                        if !need.insert(vs[i].lsn) {
+                            break;
+                        }
+                        cur = vs[i];
+                    }
+                }
+                let mut i = 0;
+                while i < k {
+                    if need.contains(&vs[i].lsn) {
+                        i += 1;
+                    } else {
+                        let v = vs.remove(i);
+                        k -= 1;
+                        Self::release_version_into(
+                            &v,
+                            &mut self.redo_refs,
+                            &mut self.page_cache,
+                            &mut freed,
+                        );
+                    }
                 }
             }
             // Trim metadata versions: keep the newest ≤ floor and all > floor.
@@ -1641,9 +2507,14 @@ impl ObjectStore {
                 Some(o) if o.created_epoch == prov => true,
                 Some(o) => {
                     for vs in o.versions.values_mut() {
-                        vs.retain(|&(e, b, _)| {
-                            if e == prov {
-                                freed.push(b);
+                        vs.retain(|v| {
+                            if v.epoch == prov {
+                                Self::release_version_into(
+                                    v,
+                                    &mut self.redo_refs,
+                                    &mut self.page_cache,
+                                    &mut freed,
+                                );
                                 false
                             } else {
                                 true
@@ -1662,8 +2533,13 @@ impl ObjectStore {
                 // The object never existed in any committed epoch.
                 let o = self.objects.remove(&oid).expect("present");
                 for (_, vs) in o.versions {
-                    for (_, b, _) in vs {
-                        freed.push(b);
+                    for v in vs {
+                        Self::release_version_into(
+                            &v,
+                            &mut self.redo_refs,
+                            &mut self.page_cache,
+                            &mut freed,
+                        );
                     }
                 }
                 if let Some(j) = o.journal {

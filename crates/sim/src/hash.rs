@@ -1,0 +1,82 @@
+//! Shared content hashing for on-disk records and page checksums.
+//!
+//! Every layer that fingerprints bytes (the object store's per-page and
+//! per-record checksums, the POSIX serializer's vnode content hashes)
+//! goes through one [`ContentHasher`] implementation so swapping the
+//! algorithm — e.g. for a blockwise/SIMD-friendly hash — is a one-file
+//! change. The current implementation is FNV-1a 64-bit: tiny, allocation
+//! free, and bit-stable across builds.
+
+/// A streaming 64-bit content hash. Implementations must be
+/// deterministic: the digest depends only on the bytes fed in.
+pub trait ContentHasher {
+    /// Fresh hasher in its initial state.
+    fn reset() -> Self;
+    /// Folds `data` into the running digest.
+    fn update(&mut self, data: &[u8]);
+    /// Returns the digest of everything fed so far.
+    fn digest(&self) -> u64;
+
+    /// One-shot convenience: digest of a single buffer.
+    fn hash(data: &[u8]) -> u64
+    where
+        Self: Sized,
+    {
+        let mut h = Self::reset();
+        h.update(data);
+        h.digest()
+    }
+}
+
+/// FNV-1a-style 64-bit hash. The workspace's default [`ContentHasher`].
+///
+/// Note: this keeps the multiplier the tree has always used
+/// (`0x1000_0000_01b3`, one hex digit wider than the standard FNV
+/// prime), so checksums in existing store images stay valid.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a(u64);
+
+impl ContentHasher for Fnv1a {
+    fn reset() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, data: &[u8]) {
+        for &b in data {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+
+    fn digest(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot digest with the workspace's default hasher.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    Fnv1a::hash(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The empty digest is the offset basis; the rest pin the exact
+        // historical values so the hash stays bit-stable across
+        // refactors (on-disk checksums depend on it).
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 12642967877113212044);
+        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"), "order-sensitive");
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let mut h = Fnv1a::reset();
+        h.update(b"foo");
+        h.update(b"bar");
+        assert_eq!(h.digest(), fnv1a(b"foobar"));
+    }
+}

@@ -28,6 +28,7 @@ pub mod codec;
 pub mod cost;
 pub mod des;
 pub mod dist;
+pub mod hash;
 pub mod net;
 pub mod rng;
 pub mod stats;
@@ -36,6 +37,7 @@ pub mod units;
 
 pub use clock::Clock;
 pub use codec::{Decoder, Encoder};
+pub use hash::{fnv1a, ContentHasher, Fnv1a};
 pub use cost::CostModel;
 pub use rng::{DetRng, Rng};
 pub use stats::Histogram;

@@ -21,6 +21,12 @@
 //!    shared (refcount ≥ 2, i.e. frozen-by-someone) frame reports a COW
 //!    copy; an in-place write to a shared frame would mutate a frozen
 //!    checkpoint's view of memory.
+//! 5. **Redo-chain termination** — every `redo.materialize` chain walk
+//!    ends at a full-image record (`full_base = 1`); a chain with no
+//!    base cannot be replayed into a page.
+//! 6. **Durability watermark ordering** — every `redo.watermark` holds
+//!    `VDL ≤ VCL`: a consistency point cannot be durable before every
+//!    record below it is on the device.
 //!
 //! Violations are collected, not panicked, so a harness can run to
 //! completion and report every failure; [`InvariantChecker::assert_clean`]
@@ -170,6 +176,39 @@ impl InvariantChecker {
             }
         }));
 
+        // 5. Redo-chain termination.
+        let s = state.clone();
+        ids.push(trace.probe(ProbeSpec::any().cat("objstore").name_prefix("redo.materialize"), {
+            move |ev| {
+                let mut st = s.lock().unwrap();
+                st.checked += 1;
+                if arg(ev, "full_base").unwrap_or(0) == 0 {
+                    st.violations.push(format!(
+                        "redo chain termination: materialization at t={} walked a chain with \
+                         no full-image base",
+                        ev.ts
+                    ));
+                }
+            }
+        }));
+
+        // 6. Durability watermark ordering: VDL never exceeds VCL.
+        let s = state.clone();
+        ids.push(trace.probe(ProbeSpec::any().cat("objstore").name_prefix("redo.watermark"), {
+            move |ev| {
+                let mut st = s.lock().unwrap();
+                st.checked += 1;
+                let vcl = arg(ev, "vcl").unwrap_or(0);
+                let vdl = arg(ev, "vdl").unwrap_or(0);
+                if vdl > vcl {
+                    st.violations.push(format!(
+                        "watermark ordering: VDL {vdl} exceeds VCL {vcl} at t={}",
+                        ev.ts
+                    ));
+                }
+            }
+        }));
+
         Self { state, ids }
     }
 
@@ -293,6 +332,29 @@ mod tests {
         t.instant("frames", "frames.write", &[("shared", 1), ("copied", 0), ("zero", 0)]);
         assert!(!c.is_clean());
         assert_eq!(c.checked(), 3);
+    }
+
+    #[test]
+    fn chain_without_full_base_is_a_violation() {
+        let (_, t) = clocked();
+        let c = InvariantChecker::arm(&t);
+        t.instant("objstore", "redo.materialize", &[("oid", 7), ("chain_len", 3), ("full_base", 1)]);
+        assert!(c.is_clean(), "{:?}", c.violations());
+        t.instant("objstore", "redo.materialize", &[("oid", 7), ("full_base", 0)]);
+        assert!(!c.is_clean());
+        assert!(c.violations()[0].contains("redo chain termination"));
+    }
+
+    #[test]
+    fn vdl_above_vcl_is_a_violation() {
+        let (_, t) = clocked();
+        let c = InvariantChecker::arm(&t);
+        t.instant("objstore", "redo.watermark", &[("vcl", 10), ("vdl", 10)]);
+        t.instant("objstore", "redo.watermark", &[("vcl", 12), ("vdl", 10)]);
+        assert!(c.is_clean(), "{:?}", c.violations());
+        t.instant("objstore", "redo.watermark", &[("vcl", 12), ("vdl", 13)]);
+        assert!(!c.is_clean());
+        assert!(c.violations()[0].contains("watermark ordering"));
     }
 
     #[test]

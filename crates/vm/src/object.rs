@@ -270,6 +270,28 @@ impl Vm {
         }
     }
 
+    /// The nearest resident copy of `pindex` in the object's *backer*
+    /// chain — the page's pre-COW content. The checkpoint flusher diffs
+    /// a dirty page against this parent-shadow copy to emit a sub-page
+    /// redo record instead of a full image. `None` when no ancestor
+    /// holds the page resident (freshly installed page, or the parent
+    /// copy was swapped out).
+    pub fn backer_page_ref(
+        &self,
+        obj: ObjId,
+        pindex: u64,
+    ) -> Result<Option<crate::types::PageData>, VmError> {
+        let mut cur = self.objects.get(&obj).ok_or(VmError::NoSuchObject(obj))?.backer;
+        while let Some(b) = cur {
+            let o = self.objects.get(&b).ok_or(VmError::NoSuchObject(b))?;
+            if let Some(PageSlot::Resident { frame, .. }) = o.pages.get(&pindex) {
+                return Ok(Some(self.frames.get(frame).expect("resident frame exists").clone()));
+            }
+            cur = o.backer;
+        }
+        Ok(None)
+    }
+
     /// Iterates over the resident pages of an object: `(pindex, dirty)`.
     pub fn resident_page_indices(&self, obj: ObjId) -> Result<Vec<(u64, bool)>, VmError> {
         let o = self.objects.get(&obj).ok_or(VmError::NoSuchObject(obj))?;
