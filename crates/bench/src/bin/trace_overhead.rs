@@ -1,0 +1,6 @@
+//! Thin wrapper over [`aurora_bench::suite::trace_overhead`]; supports
+//! `--json [PATH]` for machine-readable export.
+
+fn main() {
+    aurora_bench::bench_main(aurora_bench::suite::trace_overhead::run);
+}

@@ -17,6 +17,7 @@ pub mod table4_posix_objects;
 pub mod table5_memory_objects;
 pub mod table6_applications;
 pub mod table7_aurora_vs_criu;
+pub mod trace_overhead;
 
 use crate::BenchReport;
 
@@ -40,5 +41,6 @@ pub fn all() -> Vec<Entry> {
         ("degraded_mode", degraded_mode::run),
         ("delta_checkpoint", delta_checkpoint::run),
         ("live_migration", live_migration::run),
+        ("trace_overhead", trace_overhead::run),
     ]
 }

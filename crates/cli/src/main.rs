@@ -68,6 +68,26 @@ fn main() {
             let threshold = flag_u64(&args, "--threshold").unwrap_or(128);
             migrate_demo(rounds, threshold);
         }
+        "explain" => {
+            // sls explain epoch <n> [--json]: replay the deterministic
+            // quorum scenario with provenance on and print epoch <n>'s
+            // causal waterfall.
+            if args.get(1).map(String::as_str) != Some("epoch") {
+                eprintln!("usage: sls explain epoch <n> [--json] [--nodes N] [--quorum Q]");
+                std::process::exit(2);
+            }
+            let epoch = match args.get(2).and_then(|v| v.parse::<u64>().ok()) {
+                Some(e) if e > 0 => e,
+                _ => {
+                    eprintln!("explain wants a positive epoch number");
+                    std::process::exit(2);
+                }
+            };
+            let json = args.iter().any(|a| a == "--json");
+            let nodes = flag_u64(&args, "--nodes").unwrap_or(3) as usize;
+            let quorum = flag_u64(&args, "--quorum").unwrap_or(2) as usize;
+            explain_epoch(epoch, json, nodes, quorum);
+        }
         "help" | "--help" | "-h" => usage(),
         other => {
             eprintln!("unknown or non-interactive command: {other}");
@@ -97,7 +117,8 @@ fn usage() {
          \x20      sls stat [--prom | --json] [--period NS] [--probe PREFIX]\n\
          \x20      sls watch [--period NS] [--steps N]\n\
          \x20      sls cluster [--nodes N] [--quorum Q] [--epochs E] [--kill NODE]\n\
-         \x20      sls migrate [--rounds N] [--threshold PAGES]\n\n\
+         \x20      sls migrate [--rounds N] [--threshold PAGES]\n\
+         \x20      sls explain epoch <n> [--json] [--nodes N] [--quorum Q]\n\n\
          demo   walk the paper's Table 2 workflow: attach → periodic\n\
          \x20      checkpoints → named checkpoint → ps → crash → restore →\n\
          \x20      time travel → suspend/resume → dump → send/recv migration\n\
@@ -117,7 +138,13 @@ fn usage() {
          \x20      --kill NODE   take a follower down halfway through\n\n\
          migrate live-migrate a memcached between cluster nodes under\n\
          \x20      mutilate load; prints pre-copy rounds and the final\n\
-         \x20      stop-and-copy pause in virtual µs"
+         \x20      stop-and-copy pause in virtual µs\n\n\
+         explain replay the deterministic quorum scenario with epoch\n\
+         \x20      provenance on, then print epoch <n>'s causal waterfall:\n\
+         \x20      every hop from the leader's quiesce to the quorum-gated\n\
+         \x20      release, with the critical path attributed to pipeline\n\
+         \x20      stages, fabric links, and quorum members\n\
+         \x20      --json        emit the full causal graph as JSON"
     );
 }
 
@@ -218,6 +245,7 @@ fn cluster_demo(nodes: usize, quorum: usize, epochs: u64, kill: Option<usize>) {
     use aurora_cluster::{Cluster, ClusterConfig};
     println!("Booting a {nodes}-node Aurora cluster (quorum {quorum}) on one virtual clock…");
     let mut c = Cluster::new(ClusterConfig { nodes, quorum, ..ClusterConfig::default() });
+    c.enable_provenance(8);
     let pid = c.leader().kernel.spawn("counter");
     let addr = c.leader().kernel.mmap_anon(pid, 16, aurora_vm::Prot::RW).unwrap();
     c.leader().kernel.mem_write(pid, addr, &0u64.to_le_bytes()).unwrap();
@@ -259,12 +287,124 @@ fn cluster_demo(nodes: usize, quorum: usize, epochs: u64, kill: Option<usize>) {
     for (name, v) in gauges.iter().filter(|(n, _)| n.starts_with("cluster.")) {
         println!("  {name:<32} {v}");
     }
+    println!("\ntrace rings (bounded; drops mean provenance graphs go lossy):");
+    for i in 0..c.nodes.len() {
+        let t = c.node_trace(i);
+        println!(
+            "  node{i}: {} events recorded, {} dropped{}",
+            t.event_count(),
+            t.dropped_records(),
+            if t.dropped_records() > 0 { "  [lossy]" } else { "" }
+        );
+    }
     println!(
         "fabric: {} msgs / {} on the wire, {} dropped",
         c.fabric.stats().sent_msgs,
         fmt_bytes(c.fabric.stats().sent_bytes),
         c.fabric.stats().dropped_msgs
     );
+}
+
+/// `sls explain epoch <n>`: replay the deterministic quorum scenario
+/// with per-node tracing and provenance on, stitch epoch `n`'s causal
+/// graph out of the nodes' trace rings, and print the per-hop latency
+/// waterfall with critical-path attribution. `--json` emits the whole
+/// graph (events, edges, critical path) as deterministic JSON —
+/// byte-identical across reruns, since the cluster runs on virtual
+/// time.
+fn explain_epoch(epoch: u64, json: bool, nodes: usize, quorum: usize) {
+    use aurora_cluster::{Cluster, ClusterConfig};
+    use aurora_trace::HopKind;
+    let mut c = Cluster::new(ClusterConfig { nodes, quorum, ..ClusterConfig::default() });
+    c.enable_provenance(16);
+    let pid = c.leader().kernel.spawn("counter");
+    let addr = c.leader().kernel.mmap_anon(pid, 16, aurora_vm::Prot::RW).unwrap();
+    c.leader().kernel.mem_write(pid, addr, &0u64.to_le_bytes()).unwrap();
+    let gid = c
+        .attach_on_leader(pid, SlsOptions { external_synchrony: true, ..SlsOptions::default() })
+        .unwrap();
+    // Commit rounds until the requested epoch exists (bounded — epochs
+    // advance by at least one per round).
+    let mut last = 0;
+    for _ in 0..epoch + 4 {
+        if last >= epoch {
+            break;
+        }
+        let mut buf = [0u8; 8];
+        c.leader().kernel.mem_read(pid, addr, &mut buf).unwrap();
+        let v = u64::from_le_bytes(buf) + 1;
+        c.leader().kernel.mem_write(pid, addr, &v.to_le_bytes()).unwrap();
+        last = c.checkpoint_and_replicate(gid).unwrap().epoch;
+        c.drain().unwrap();
+    }
+    let Some(g) = c.epoch_graph(gid.0, epoch) else {
+        let avail = c.leader().store().lock().epochs_for(gid.0).to_vec();
+        eprintln!("no causal graph for epoch {epoch} of g{}; group epochs: {avail:?}", gid.0);
+        std::process::exit(2);
+    };
+    if json {
+        println!("{}", g.to_json());
+        return;
+    }
+
+    let cp = g.critical_path();
+    println!(
+        "sls explain — epoch {epoch} of g{} on a {nodes}-node cluster (quorum {quorum})",
+        gid.0
+    );
+    println!(
+        "\ncausal graph: {} hops across {} nodes, {}, {}",
+        g.events.len(),
+        g.node_span(),
+        if g.is_acyclic() { "acyclic" } else { "CYCLIC" },
+        if g.truncated { "TRUNCATED (ring drops — graph may be missing hops)" } else { "complete" }
+    );
+    println!(
+        "critical path (seal → release): {} over {} hops\n",
+        fmt_ns(cp.total_ns),
+        cp.hops.len()
+    );
+    println!(
+        "  {:>12}  {:>12}  {:>12}  {:>5}  {:<6}  {:<18}  waterfall",
+        "from", "until", "dur", "node", "kind", "hop"
+    );
+    const BAR: usize = 24;
+    for h in &cp.hops {
+        let (lead, fill) = if cp.total_ns == 0 {
+            (0, 0)
+        } else {
+            (
+                ((h.from_ns - cp.start_ns) as usize * BAR) / cp.total_ns as usize,
+                (((h.dur_ns as usize) * BAR) / cp.total_ns as usize).max(1),
+            )
+        };
+        println!(
+            "  {:>12}  {:>12}  {:>12}  {:>5}  {:<6}  {:<18}  {}{}",
+            fmt_ns(h.from_ns),
+            fmt_ns(h.until_ns),
+            fmt_ns(h.dur_ns),
+            h.node,
+            h.kind.as_str(),
+            h.label,
+            " ".repeat(lead.min(BAR)),
+            "#".repeat(fill.min(BAR + 1 - lead.min(BAR)))
+        );
+    }
+    println!("\nattribution:");
+    for kind in [HopKind::Stage, HopKind::Link, HopKind::Member, HopKind::Local] {
+        let ns = cp.attributed_ns(kind);
+        let pct = (ns * 100).checked_div(cp.total_ns).unwrap_or(0);
+        println!("  {:<6}  {:>12}  {pct:>3}%", kind.as_str(), fmt_ns(ns));
+    }
+    let hop_sum: u64 = cp.hops.iter().map(|h| h.dur_ns).sum();
+    println!(
+        "\nhop durations sum to {} = end-to-end release latency ({})",
+        fmt_ns(hop_sum),
+        fmt_ns(cp.end_ns - cp.start_ns)
+    );
+    if let Some(fr) = c.flight_recorder() {
+        println!("flight recorder: {} epoch graphs on board (cap {})", fr.len(), fr.capacity());
+    }
 }
 
 /// `sls migrate`: live-migrate a running memcached between cluster

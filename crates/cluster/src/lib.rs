@@ -41,6 +41,7 @@
 //! stop-and-copy whose pause is measured in virtual µs.
 
 pub mod migrate;
+pub mod provenance;
 
 pub use migrate::{MigrationConfig, MigrationReport, RoundStats};
 
@@ -170,6 +171,15 @@ pub struct Cluster {
     /// Migration progress mirrored into the gauges (set by [`migrate`]).
     pub(crate) migration_round: u64,
     pub(crate) migration_dirty_pages: u64,
+    /// The always-on flight recorder once provenance is enabled: every
+    /// epoch's causal graph is pushed here as the quorum watermark
+    /// passes it (see [`provenance`]).
+    pub(crate) flight: Option<aurora_trace::FlightRecorder>,
+    /// Per-group highest epoch whose causal graph has been snapshotted.
+    pub(crate) provenance_head: BTreeMap<u64, u64>,
+    /// The most recent critical path extracted, `(group, epoch, path)`
+    /// — the `cluster.epoch.critical_path.*` gauge source.
+    pub(crate) last_critical_path: Option<(u64, u64, aurora_trace::CriticalPath)>,
 }
 
 pub(crate) const LEADER: usize = 0;
@@ -198,6 +208,9 @@ impl Cluster {
             seq: 0,
             migration_round: 0,
             migration_dirty_pages: 0,
+            flight: None,
+            provenance_head: BTreeMap::new(),
+            last_critical_path: None,
         }
     }
 
@@ -334,6 +347,21 @@ impl Cluster {
                 if !self.nodes[dst].alive {
                     return Ok(());
                 }
+                {
+                    let trace = self.nodes[dst].sls.kernel.charge.trace();
+                    if trace.is_enabled() {
+                        trace.instant(
+                            "cluster",
+                            "cluster.delta_arrive",
+                            &[
+                                ("group", group),
+                                ("to_epoch", to_epoch),
+                                ("from_node", ev.src),
+                                ("bytes", stream.len() as u64),
+                            ],
+                        );
+                    }
+                }
                 let report = self.nodes[dst].sls.recv_apply(&stream, group)?;
                 self.nodes[dst]
                     .applied
@@ -358,6 +386,21 @@ impl Cluster {
                     return Ok(());
                 }
                 self.stats.acks_received += 1;
+                {
+                    let trace = self.nodes[ev.dst as usize].sls.kernel.charge.trace();
+                    if trace.is_enabled() {
+                        trace.instant(
+                            "cluster",
+                            "cluster.ack",
+                            &[
+                                ("group", group),
+                                ("epoch", epoch),
+                                ("from_node", ev.src),
+                                ("durable_at", durable_at),
+                            ],
+                        );
+                    }
+                }
                 self.nodes[ev.dst as usize]
                     .sls
                     .store()
@@ -391,6 +434,10 @@ impl Cluster {
             );
         }
         sls.pump_external_synchrony();
+        // Now that releases for newly covered epochs have fired, their
+        // causal graphs are complete — snapshot them into the flight
+        // recorder and refresh the critical-path gauges.
+        self.snapshot_provenance(group);
     }
 
     /// The newest epoch of `group` acked by a quorum (0 until one
@@ -499,8 +546,10 @@ impl Cluster {
         let fabric = self.fabric.stats();
         for i in 0..self.nodes.len() {
             let own = if i == LEADER { leader_epoch } else { self.nodes[i].watermark(group) };
-            let gauges = vec![
+            let dropped = self.nodes[i].sls.kernel.charge.trace().dropped_records();
+            let mut gauges = vec![
                 ("cluster.quorum_lag".to_string(), leader_epoch.saturating_sub(watermark)),
+                ("cluster.trace_dropped".to_string(), dropped),
                 ("cluster.repl_queue_depth".to_string(), queue),
                 ("cluster.migration_round".to_string(), self.migration_round),
                 ("cluster.migration_dirty_pages".to_string(), self.migration_dirty_pages),
@@ -513,6 +562,30 @@ impl Cluster {
                 ("cluster.pruned_epochs".to_string(), self.stats.pruned_epochs),
                 ("cluster.fabric_bytes".to_string(), fabric.sent_bytes),
             ];
+            if let Some((g, e, cp)) = &self.last_critical_path {
+                if *g == group {
+                    gauges.push(("cluster.epoch.critical_path.epoch".to_string(), *e));
+                    gauges.push((
+                        "cluster.epoch.critical_path.total_ns".to_string(),
+                        cp.total_ns,
+                    ));
+                    gauges.push((
+                        "cluster.epoch.critical_path.hops".to_string(),
+                        cp.hops.len() as u64,
+                    ));
+                    for kind in [
+                        aurora_trace::HopKind::Stage,
+                        aurora_trace::HopKind::Link,
+                        aurora_trace::HopKind::Member,
+                        aurora_trace::HopKind::Local,
+                    ] {
+                        gauges.push((
+                            format!("cluster.epoch.critical_path.{}_ns", kind.as_str()),
+                            cp.attributed_ns(kind),
+                        ));
+                    }
+                }
+            }
             self.nodes[i].sls.set_cluster_gauges(gauges);
         }
     }

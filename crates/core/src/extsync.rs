@@ -113,7 +113,7 @@ impl Sls {
         // because commit barriers are per-draft in the store.
         for gid in &gids {
             let mut to_release: Vec<(u64, usize)> = Vec::new();
-            let mut released_batches: Vec<(u64, u64, u64)> = Vec::new();
+            let mut released_batches: Vec<(u64, u64, u64, u64)> = Vec::new();
             {
                 let gate = self.release_gate;
                 let g = self.groups.get_mut(gid).expect("listed");
@@ -128,7 +128,12 @@ impl Sls {
                         break;
                     }
                     let batch = g.sealed.pop_front().expect("checked front");
-                    released_batches.push((batch.epoch, batch.durable_at, batch.counts.len() as u64));
+                    released_batches.push((
+                        batch.epoch,
+                        batch.durable_at,
+                        batch.sealed_at,
+                        batch.counts.len() as u64,
+                    ));
                     for (sid, upto) in batch.counts {
                         to_release.push((sid, upto));
                     }
@@ -137,7 +142,7 @@ impl Sls {
             self.extsync_released += released_batches.len() as u64;
             let trace = self.kernel.charge.trace();
             if trace.is_enabled() {
-                for (epoch, durable_at, sockets) in released_batches {
+                for (epoch, durable_at, sealed_at, sockets) in released_batches {
                     trace.instant(
                         "extsync",
                         "extsync.release",
@@ -148,6 +153,7 @@ impl Sls {
                             ("sockets", sockets),
                         ],
                     );
+                    trace.hist("release_latency", now.saturating_sub(sealed_at));
                 }
             }
             for (sid, upto) in to_release {

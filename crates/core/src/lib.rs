@@ -185,6 +185,9 @@ pub(crate) struct SealedBatch {
     pub epoch: u64,
     /// Release when the clock reaches this (the commit's durability).
     pub durable_at: u64,
+    /// Virtual time the batch was sealed (commit time) — the zero point
+    /// of the `release_latency` histogram.
+    pub sealed_at: u64,
     /// Messages sealed per socket id.
     pub counts: HashMap<u64, usize>,
 }
@@ -258,6 +261,14 @@ pub struct Sls {
     /// replication queue depth, migration progress). A standalone node
     /// reports the defaults — a cluster of one, zero lag.
     pub(crate) cluster_gauges: HashMap<String, u64>,
+    /// This node's identity in a cluster (0 standalone / leader). Rides
+    /// in the v2 delta-stream header so a receiver can attribute the
+    /// frame to its origin in the cross-node causal graph.
+    pub(crate) node_id: u64,
+    /// The installed flight recorder, if any: `crash_and_reboot` (and,
+    /// via `InvariantChecker::on_violation`, the online checker) dumps
+    /// the causal graphs of the last few epochs through this handle.
+    flight: Option<aurora_trace::FlightRecorder>,
     next_group: u64,
 }
 
@@ -293,8 +304,33 @@ impl Sls {
             retries_spent_total: 0,
             release_gate: None,
             cluster_gauges: HashMap::new(),
+            node_id: 0,
+            flight: None,
             next_group: 1,
         }
+    }
+
+    /// Sets this node's cluster identity (carried in outbound delta
+    /// streams and stamped on trace provenance events).
+    pub fn set_node_id(&mut self, id: u64) {
+        self.node_id = id;
+    }
+
+    /// This node's cluster identity (0 standalone / leader).
+    pub fn node_id(&self) -> u64 {
+        self.node_id
+    }
+
+    /// Installs a flight recorder: `crash_and_reboot` will dump the
+    /// retained epoch causal graphs through it, and callers can wire the
+    /// same handle into `InvariantChecker::on_violation`.
+    pub fn install_flight_recorder(&mut self, fr: aurora_trace::FlightRecorder) {
+        self.flight = Some(fr);
+    }
+
+    /// The installed flight recorder, if any.
+    pub fn flight_recorder(&self) -> Option<&aurora_trace::FlightRecorder> {
+        self.flight.as_ref()
     }
 
     /// Sets (or clears) the external-synchrony release gate: sealed
@@ -484,6 +520,8 @@ impl Sls {
             ("extsync.released_total".into(), self.extsync_released),
             ("extsync.pending_batches".into(), pending),
             ("trace.dropped_records".into(), self.trace.dropped_records()),
+            ("trace.capacity".into(), self.trace.capacity() as u64),
+            ("trace.cap_invalid".into(), self.trace.cap_override_invalid() as u64),
             ("device.health.degraded_members".into(), health.degraded_members()),
             ("device.health.worst".into(), health.worst_code()),
             ("device.health.read_fallbacks".into(), health.read_fallbacks),
@@ -779,6 +817,11 @@ impl Sls {
     /// kernel restarts empty (all processes die). Groups are forgotten —
     /// rediscover them with [`Sls::manifests_at`] and restore.
     pub fn crash_and_reboot(&mut self) -> Result<(), SlsError> {
+        // Dump the black box first: the causal graphs of the last few
+        // epochs, frozen at the instant of the crash.
+        if let Some(fr) = &self.flight {
+            fr.trigger("crash_and_reboot", self.kernel.charge.clock().now());
+        }
         self.store.lock().crash_and_reopen_in_place()?;
         let clock = self.kernel.charge.clock().clone();
         let model = self.kernel.charge.model().clone();

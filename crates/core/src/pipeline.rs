@@ -400,7 +400,13 @@ impl GroupRun {
                 ],
             );
             for &(name, start, dur) in &self.spans.0 {
-                trace.complete("pipeline", name, start, dur, &[("group", self.gid.0)]);
+                trace.complete(
+                    "pipeline",
+                    name,
+                    start,
+                    dur,
+                    &[("group", self.gid.0), ("epoch", stats.epoch)],
+                );
                 trace.hist(&format!("stage.{name}"), dur);
             }
         }
@@ -745,6 +751,7 @@ impl GroupRun {
             g.sealed.push_back(SealedBatch {
                 epoch: info.epoch,
                 durable_at: info.durable_at,
+                sealed_at: now,
                 counts: sealed_counts,
             });
             sls.extsync_sealed += 1;

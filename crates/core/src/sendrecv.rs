@@ -14,6 +14,13 @@ const STREAM_TAG: u16 = 0x5354;
 /// carry per-page redo records (offset/payload/page-checksum), so a
 /// sealed epoch travels as exactly the records the leader logged —
 /// delta compression on the wire. Receivers accept both.
+///
+/// The v2 header additionally carries a trailing **provenance context**
+/// — the origin node id and the virtual send time — so a receiver can
+/// attribute the frame to its origin hop in the cross-node causal
+/// graph. The context rides *after* the original header fields inside
+/// the length-prefixed record body, so decoders that predate it (and
+/// streams that omit it) remain mutually compatible.
 const STREAM_VERSION: u16 = 2;
 
 /// What a delta stream carried — the replication/migration layers size
@@ -37,6 +44,11 @@ pub struct ApplyReport {
     pub manifests: Vec<Oid>,
     /// The source-side epoch stamped in the stream header.
     pub src_epoch: u64,
+    /// Origin node id from the v2 header's provenance context (0 for v1
+    /// streams and v2 streams that predate the context).
+    pub src_node: u64,
+    /// Virtual time the origin encoded the stream (0 when absent).
+    pub sent_at: u64,
     /// The local epoch the apply committed as.
     pub local_epoch: u64,
     /// Virtual time at which the local commit is durable — the floor a
@@ -107,6 +119,10 @@ impl Sls {
         let (v, mut hdr) = d.record(STREAM_TAG, STREAM_VERSION)?;
         let src_epoch = hdr.u64()?;
         let count = hdr.u32()?;
+        // Trailing provenance context (v2, optional): origin node + send
+        // time. Older streams simply end here.
+        let src_node = if hdr.remaining() >= 8 { hdr.u64()? } else { 0 };
+        let sent_at = if hdr.remaining() >= 8 { hdr.u64()? } else { 0 };
         let mut store = self.store.lock();
         let prev_staging = store.staging();
         store.stage_for(group);
@@ -220,15 +236,20 @@ impl Sls {
                 &[
                     ("epoch", info.epoch),
                     ("src_epoch", src_epoch),
+                    ("src_node", src_node),
+                    ("sent_at", sent_at),
                     ("group", group),
                     ("objects", count as u64),
                     ("bytes", stream.len() as u64),
+                    ("durable_at", info.durable_at),
                 ],
             );
         }
         Ok(ApplyReport {
             manifests,
             src_epoch,
+            src_node,
+            sent_at,
             local_epoch: info.epoch,
             durable_at: info.durable_at,
             pages,
@@ -304,11 +325,16 @@ impl Sls {
             bodies.raw(&bytes);
             emitted += 1;
         }
-        // Rewrite the header with the emitted count.
+        // Rewrite the header with the emitted count, stamping the
+        // provenance context: who encoded this stream, and when.
+        let origin = self.node_id;
+        let sent_at = self.kernel.charge.clock().now();
         let mut out = Encoder::new();
         out.record(STREAM_TAG, STREAM_VERSION, |e| {
             e.u64(to_epoch);
             e.u32(emitted);
+            e.u64(origin);
+            e.u64(sent_at);
         });
         out.raw(&bodies.finish_vec());
         let stream = out.finish_vec();

@@ -270,3 +270,64 @@ fn scrub_passes_on_clean_history() {
     assert!(checker.checked() > 0);
     checker.assert_clean();
 }
+
+/// The crash flight recorder: with graphs of the last epochs on board
+/// and a violation sink wired to `trigger`, an induced invariant
+/// failure dumps the recorder automatically — no manual step between
+/// "the checker fired" and "the causality snapshot exists".
+#[test]
+fn induced_invariant_failure_dumps_flight_recorder() {
+    use aurora_trace::{CausalGraph, FlightRecorder, HopKind};
+
+    let clock = Clock::new();
+    let trace = {
+        let c = clock.clone();
+        Trace::recording(move || c.now())
+    };
+    let checker = InvariantChecker::arm(&trace);
+    let mut charge = Charge::new(clock.clone(), CostModel::default());
+    charge.set_trace(trace.clone());
+    let (dev, _handle) = faulty_testbed_array(&clock, 1 << 26, FaultPlan::none());
+    let mut store = ObjectStore::format(dev, charge, 1024).unwrap();
+
+    // Real commits so the ring holds genuine epoch history, with one
+    // causal graph per epoch recorded (as the cluster layer does for
+    // replicated epochs).
+    let fr = FlightRecorder::new(4);
+    let oid = store.alloc_oid();
+    store.create_object(oid, ObjectKind::Memory).unwrap();
+    let mut last_epoch = 0;
+    for i in 0..3u8 {
+        store.write_page(oid, 0, &PageRef::detached([i; PAGE])).unwrap();
+        let c = store.commit().unwrap();
+        store.barrier(c);
+        last_epoch = c.epoch;
+        let mut g = CausalGraph::new(c.epoch, 0);
+        let hop = g.hop(0, "stage.commit", HopKind::Stage, clock.now(), 0, vec![], vec![]);
+        g.terminal = Some(hop);
+        fr.record(g);
+    }
+    assert!(checker.is_clean());
+    assert_eq!(fr.dump_count(), 0);
+
+    // Wire the auto-dump, then induce invariant 1: replay a commit of
+    // an epoch at or below the watermark without an intervening crash.
+    {
+        let fr = fr.clone();
+        let c = clock.clone();
+        checker.on_violation(move |why| {
+            fr.trigger(why, c.now());
+        });
+    }
+    trace.instant("objstore", "epoch.commit", &[("epoch", 1)]);
+    assert!(!checker.is_clean());
+
+    assert_eq!(fr.dump_count(), 1, "the violation sink dumped exactly once");
+    let dump = fr.last_dump().expect("dump captured at violation time");
+    aurora_trace::json::validate(&dump).unwrap();
+    assert!(fr.last_reason().unwrap().contains("epoch monotonicity"));
+    assert!(
+        dump.contains(&format!("\"epoch\":{last_epoch}")),
+        "dump holds the newest epoch's graph"
+    );
+}

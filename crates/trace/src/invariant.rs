@@ -30,7 +30,10 @@
 //!
 //! Violations are collected, not panicked, so a harness can run to
 //! completion and report every failure; [`InvariantChecker::assert_clean`]
-//! is the test-facing panic.
+//! is the test-facing panic. [`InvariantChecker::on_violation`] registers
+//! sinks that fire synchronously at the moment a violation is detected —
+//! the flight recorder uses this to dump the causal graphs of the last
+//! few epochs while the evidence is still in the rings.
 
 use crate::probe::{ProbeId, ProbeSpec};
 use crate::{Trace, TraceEvent};
@@ -46,10 +49,13 @@ struct State {
     quiesce_end: u64,
 }
 
+type Sink = Arc<dyn Fn(&str) + Send + Sync>;
+
 /// A live invariant checker. Cloning shares the collected state.
 #[derive(Clone, Default)]
 pub struct InvariantChecker {
     state: Arc<Mutex<State>>,
+    sinks: Arc<Mutex<Vec<Sink>>>,
     ids: Vec<ProbeId>,
 }
 
@@ -57,159 +63,216 @@ fn arg(ev: &TraceEvent, key: &str) -> Option<u64> {
     ev.args.iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
 }
 
+/// Dispatches freshly detected violations to the registered sinks. Runs
+/// outside the state lock so a sink may inspect the checker (or trigger
+/// a flight-recorder dump) without deadlocking.
+fn notify(sinks: &Arc<Mutex<Vec<Sink>>>, fresh: &[String]) {
+    if fresh.is_empty() {
+        return;
+    }
+    let snapshot: Vec<Sink> = sinks.lock().unwrap().clone();
+    for msg in fresh {
+        for sink in &snapshot {
+            sink(msg);
+        }
+    }
+}
+
 impl InvariantChecker {
     /// Arms every invariant on `trace`. On a disabled trace this is a
     /// no-op checker that trivially stays clean.
     pub fn arm(trace: &Trace) -> Self {
         let state = Arc::new(Mutex::new(State::default()));
+        let sinks: Arc<Mutex<Vec<Sink>>> = Arc::new(Mutex::new(Vec::new()));
         let mut ids = Vec::new();
 
         // 1. Epoch monotonicity (+ recovery resets).
-        let s = state.clone();
+        let (s, k) = (state.clone(), sinks.clone());
         ids.push(trace.probe(ProbeSpec::any().cat("objstore").name_prefix("epoch.commit"), {
             move |ev| {
-                let mut st = s.lock().unwrap();
-                st.checked += 1;
-                let epoch = arg(ev, "epoch").unwrap_or(0);
-                if let Some(last) = st.last_epoch {
-                    if epoch <= last {
-                        st.violations.push(format!(
-                            "epoch monotonicity: commit of epoch {epoch} at t={} after epoch {last}",
-                            ev.ts
-                        ));
-                    }
-                }
-                st.last_epoch = Some(epoch);
-            }
-        }));
-        let s = state.clone();
-        ids.push(trace.probe(ProbeSpec::any().cat("objstore").name_prefix("recovery."), {
-            move |ev| {
-                let mut st = s.lock().unwrap();
-                st.checked += 1;
-                if ev.name.as_ref() == "recovery.begin" {
-                    // A crash rewinds the epoch space; restart the watch.
-                    st.last_epoch = None;
-                } else if ev.name.as_ref() == "recovery.replay" {
+                let mut fresh = Vec::new();
+                {
+                    let mut st = s.lock().unwrap();
+                    st.checked += 1;
                     let epoch = arg(ev, "epoch").unwrap_or(0);
                     if let Some(last) = st.last_epoch {
                         if epoch <= last {
-                            st.violations.push(format!(
-                                "epoch monotonicity: recovery replayed epoch {epoch} after {last}"
+                            fresh.push(format!(
+                                "epoch monotonicity: commit of epoch {epoch} at t={} after epoch {last}",
+                                ev.ts
                             ));
                         }
                     }
                     st.last_epoch = Some(epoch);
+                    st.violations.extend(fresh.iter().cloned());
                 }
+                notify(&k, &fresh);
+            }
+        }));
+        let (s, k) = (state.clone(), sinks.clone());
+        ids.push(trace.probe(ProbeSpec::any().cat("objstore").name_prefix("recovery."), {
+            move |ev| {
+                let mut fresh = Vec::new();
+                {
+                    let mut st = s.lock().unwrap();
+                    st.checked += 1;
+                    if ev.name.as_ref() == "recovery.begin" {
+                        // A crash rewinds the epoch space; restart the watch.
+                        st.last_epoch = None;
+                    } else if ev.name.as_ref() == "recovery.replay" {
+                        let epoch = arg(ev, "epoch").unwrap_or(0);
+                        if let Some(last) = st.last_epoch {
+                            if epoch <= last {
+                                fresh.push(format!(
+                                    "epoch monotonicity: recovery replayed epoch {epoch} after {last}"
+                                ));
+                            }
+                        }
+                        st.last_epoch = Some(epoch);
+                    }
+                    st.violations.extend(fresh.iter().cloned());
+                }
+                notify(&k, &fresh);
             }
         }));
 
         // 2. External synchrony ordering.
-        let s = state.clone();
+        let (s, k) = (state.clone(), sinks.clone());
         ids.push(trace.probe(ProbeSpec::any().name_prefix("extsync."), {
             move |ev| {
-                let mut st = s.lock().unwrap();
-                st.checked += 1;
-                let epoch = arg(ev, "epoch").unwrap_or(0);
-                match ev.name.as_ref() {
-                    "extsync.seal" => {
-                        st.sealed.insert(epoch);
-                    }
-                    "extsync.release" => {
-                        if !st.sealed.contains(&epoch) {
-                            st.violations.push(format!(
-                                "extsync ordering: release of epoch {epoch} at t={} never sealed",
-                                ev.ts
-                            ));
+                let mut fresh = Vec::new();
+                {
+                    let mut st = s.lock().unwrap();
+                    st.checked += 1;
+                    let epoch = arg(ev, "epoch").unwrap_or(0);
+                    match ev.name.as_ref() {
+                        "extsync.seal" => {
+                            st.sealed.insert(epoch);
                         }
-                        if let Some(durable_at) = arg(ev, "durable_at") {
-                            if ev.ts < durable_at {
-                                st.violations.push(format!(
-                                    "extsync durability: epoch {epoch} released at t={} before \
-                                     durable_at={durable_at}",
+                        "extsync.release" => {
+                            if !st.sealed.contains(&epoch) {
+                                fresh.push(format!(
+                                    "extsync ordering: release of epoch {epoch} at t={} never sealed",
                                     ev.ts
                                 ));
                             }
+                            if let Some(durable_at) = arg(ev, "durable_at") {
+                                if ev.ts < durable_at {
+                                    fresh.push(format!(
+                                        "extsync durability: epoch {epoch} released at t={} before \
+                                         durable_at={durable_at}",
+                                        ev.ts
+                                    ));
+                                }
+                            }
                         }
+                        _ => {}
                     }
-                    _ => {}
+                    st.violations.extend(fresh.iter().cloned());
                 }
+                notify(&k, &fresh);
             }
         }));
 
         // 3. Quiesce-window mutual exclusion.
-        let s = state.clone();
+        let (s, k) = (state.clone(), sinks.clone());
         ids.push(trace.probe(
             ProbeSpec::any().cat("posix").name_prefix("posix.quiesce").phase(crate::Phase::Complete),
             {
                 move |ev| {
-                    let mut st = s.lock().unwrap();
-                    st.checked += 1;
-                    if ev.ts < st.quiesce_end {
-                        let msg = format!(
-                            "quiesce exclusion: window [{}, {}) overlaps one ending at {}",
-                            ev.ts,
-                            ev.ts + ev.dur,
-                            st.quiesce_end
-                        );
-                        st.violations.push(msg);
+                    let mut fresh = Vec::new();
+                    {
+                        let mut st = s.lock().unwrap();
+                        st.checked += 1;
+                        if ev.ts < st.quiesce_end {
+                            fresh.push(format!(
+                                "quiesce exclusion: window [{}, {}) overlaps one ending at {}",
+                                ev.ts,
+                                ev.ts + ev.dur,
+                                st.quiesce_end
+                            ));
+                        }
+                        st.quiesce_end = st.quiesce_end.max(ev.ts + ev.dur);
+                        st.violations.extend(fresh.iter().cloned());
                     }
-                    st.quiesce_end = st.quiesce_end.max(ev.ts + ev.dur);
+                    notify(&k, &fresh);
                 }
             },
         ));
 
         // 4. Frozen-frame immutability.
-        let s = state.clone();
+        let (s, k) = (state.clone(), sinks.clone());
         ids.push(trace.probe(ProbeSpec::any().cat("frames").name_prefix("frames.write"), {
             move |ev| {
-                let mut st = s.lock().unwrap();
-                st.checked += 1;
-                let shared = arg(ev, "shared").unwrap_or(0);
-                let copied = arg(ev, "copied").unwrap_or(0);
-                if shared == 1 && copied == 0 {
-                    st.violations.push(format!(
-                        "frozen-frame immutability: in-place write to a shared frame at t={}",
-                        ev.ts
-                    ));
+                let mut fresh = Vec::new();
+                {
+                    let mut st = s.lock().unwrap();
+                    st.checked += 1;
+                    let shared = arg(ev, "shared").unwrap_or(0);
+                    let copied = arg(ev, "copied").unwrap_or(0);
+                    if shared == 1 && copied == 0 {
+                        fresh.push(format!(
+                            "frozen-frame immutability: in-place write to a shared frame at t={}",
+                            ev.ts
+                        ));
+                    }
+                    st.violations.extend(fresh.iter().cloned());
                 }
+                notify(&k, &fresh);
             }
         }));
 
         // 5. Redo-chain termination.
-        let s = state.clone();
+        let (s, k) = (state.clone(), sinks.clone());
         ids.push(trace.probe(ProbeSpec::any().cat("objstore").name_prefix("redo.materialize"), {
             move |ev| {
-                let mut st = s.lock().unwrap();
-                st.checked += 1;
-                if arg(ev, "full_base").unwrap_or(0) == 0 {
-                    st.violations.push(format!(
-                        "redo chain termination: materialization at t={} walked a chain with \
-                         no full-image base",
-                        ev.ts
-                    ));
+                let mut fresh = Vec::new();
+                {
+                    let mut st = s.lock().unwrap();
+                    st.checked += 1;
+                    if arg(ev, "full_base").unwrap_or(0) == 0 {
+                        fresh.push(format!(
+                            "redo chain termination: materialization at t={} walked a chain with \
+                             no full-image base",
+                            ev.ts
+                        ));
+                    }
+                    st.violations.extend(fresh.iter().cloned());
                 }
+                notify(&k, &fresh);
             }
         }));
 
         // 6. Durability watermark ordering: VDL never exceeds VCL.
-        let s = state.clone();
+        let (s, k) = (state.clone(), sinks.clone());
         ids.push(trace.probe(ProbeSpec::any().cat("objstore").name_prefix("redo.watermark"), {
             move |ev| {
-                let mut st = s.lock().unwrap();
-                st.checked += 1;
-                let vcl = arg(ev, "vcl").unwrap_or(0);
-                let vdl = arg(ev, "vdl").unwrap_or(0);
-                if vdl > vcl {
-                    st.violations.push(format!(
-                        "watermark ordering: VDL {vdl} exceeds VCL {vcl} at t={}",
-                        ev.ts
-                    ));
+                let mut fresh = Vec::new();
+                {
+                    let mut st = s.lock().unwrap();
+                    st.checked += 1;
+                    let vcl = arg(ev, "vcl").unwrap_or(0);
+                    let vdl = arg(ev, "vdl").unwrap_or(0);
+                    if vdl > vcl {
+                        fresh.push(format!(
+                            "watermark ordering: VDL {vdl} exceeds VCL {vcl} at t={}",
+                            ev.ts
+                        ));
+                    }
+                    st.violations.extend(fresh.iter().cloned());
                 }
+                notify(&k, &fresh);
             }
         }));
 
-        Self { state, ids }
+        Self { state, sinks, ids }
+    }
+
+    /// Registers a sink invoked synchronously (outside the checker's
+    /// internal lock) for every violation detected from now on. The
+    /// flight recorder hangs its dump trigger here.
+    pub fn on_violation(&self, f: impl Fn(&str) + Send + Sync + 'static) {
+        self.sinks.lock().unwrap().push(Arc::new(f));
     }
 
     /// Removes the checker's probes from `trace` (state is retained).
@@ -375,5 +438,37 @@ mod tests {
         t.instant("objstore", "epoch.commit", &[("epoch", 1)]);
         assert!(c.is_clean());
         assert_eq!(c.checked(), 0);
+    }
+
+    #[test]
+    fn violation_sinks_fire_once_per_violation() {
+        let (_, t) = clocked();
+        let c = InvariantChecker::arm(&t);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s2 = seen.clone();
+        c.on_violation(move |msg| s2.lock().unwrap().push(msg.to_string()));
+        t.instant("objstore", "epoch.commit", &[("epoch", 3)]);
+        assert!(seen.lock().unwrap().is_empty(), "clean events must not fire sinks");
+        t.instant("objstore", "epoch.commit", &[("epoch", 3)]);
+        let got = seen.lock().unwrap().clone();
+        assert_eq!(got.len(), 1);
+        assert!(got[0].contains("epoch monotonicity"));
+        assert_eq!(c.violations(), got);
+    }
+
+    #[test]
+    fn violation_sink_may_inspect_the_checker() {
+        // A sink that re-enters the checker's accessors (as the flight
+        // recorder's dump path does) must not deadlock.
+        let (_, t) = clocked();
+        let c = InvariantChecker::arm(&t);
+        let c2 = c.clone();
+        let count = Arc::new(AtomicU64::new(0));
+        let n2 = count.clone();
+        c.on_violation(move |_| {
+            n2.store(c2.violations().len() as u64, Ordering::Relaxed);
+        });
+        t.instant("objstore", "redo.watermark", &[("vcl", 1), ("vdl", 2)]);
+        assert_eq!(count.load(Ordering::Relaxed), 1);
     }
 }

@@ -22,12 +22,16 @@
 //! simulator's `Charge` accountant carries a `Trace`, so every subsystem
 //! that can charge virtual time can also trace.
 
+pub mod causal;
 pub mod chrome;
+pub mod flight;
 pub mod invariant;
 pub mod json;
 pub mod probe;
 pub mod sampler;
 
+pub use causal::{CausalEvent, CausalGraph, CriticalPath, HopKind, PathHop};
+pub use flight::FlightRecorder;
 pub use invariant::InvariantChecker;
 pub use probe::{ProbeId, ProbeSpec};
 pub use sampler::{Sample, Sampler};
@@ -154,6 +158,9 @@ struct Inner {
     /// Bounded ring: oldest records are evicted once `cap` is reached.
     events: Mutex<VecDeque<TraceEvent>>,
     cap: usize,
+    /// True when `AURORA_TRACE_CAP` was set but unparsable, so `cap` is
+    /// the default rather than what the operator asked for.
+    cap_override_invalid: bool,
     dropped: AtomicU64,
     hists: Mutex<BTreeMap<String, Histogram>>,
     probes: ProbeSet,
@@ -186,24 +193,44 @@ impl Trace {
 
     /// A recording handle stamping events with `now` (the virtual clock).
     /// The event ring holds [`DEFAULT_TRACE_CAP`] records unless the
-    /// `AURORA_TRACE_CAP` environment variable overrides it.
+    /// `AURORA_TRACE_CAP` environment variable overrides it. An override
+    /// that fails to parse is *not* swallowed silently: the handle falls
+    /// back to the default capacity, records a `trace.cap_invalid`
+    /// warning event, and reports the condition through
+    /// [`Trace::cap_override_invalid`] so it can be surfaced as a gauge.
     pub fn recording(now: impl Fn() -> u64 + Send + Sync + 'static) -> Self {
-        let cap = std::env::var(TRACE_CAP_ENV)
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .unwrap_or(DEFAULT_TRACE_CAP);
-        Self::recording_with_cap(now, cap)
+        let (cap, invalid) = match std::env::var(TRACE_CAP_ENV) {
+            Ok(raw) => match raw.trim().parse::<usize>() {
+                Ok(n) => (n, false),
+                Err(_) => (DEFAULT_TRACE_CAP, true),
+            },
+            Err(_) => (DEFAULT_TRACE_CAP, false),
+        };
+        let t = Self::build(now, cap, invalid);
+        if invalid {
+            t.instant(
+                "trace",
+                "trace.cap_invalid",
+                &[("effective_cap", cap as u64)],
+            );
+        }
+        t
     }
 
     /// A recording handle with an explicit event-ring capacity (clamped
     /// to ≥ 1). Probes and histograms are unaffected by the cap: probes
     /// run before eviction, histograms aggregate in place.
     pub fn recording_with_cap(now: impl Fn() -> u64 + Send + Sync + 'static, cap: usize) -> Self {
+        Self::build(now, cap, false)
+    }
+
+    fn build(now: impl Fn() -> u64 + Send + Sync + 'static, cap: usize, invalid: bool) -> Self {
         Self {
             inner: Some(Arc::new(Inner {
                 now: Box::new(now),
                 events: Mutex::new(VecDeque::new()),
                 cap: cap.max(1),
+                cap_override_invalid: invalid,
                 dropped: AtomicU64::new(0),
                 hists: Mutex::new(BTreeMap::new()),
                 probes: ProbeSet::default(),
@@ -335,6 +362,12 @@ impl Trace {
     /// The event ring's capacity (0 when disabled).
     pub fn capacity(&self) -> usize {
         self.inner.as_ref().map(|i| i.cap).unwrap_or(0)
+    }
+
+    /// True when `AURORA_TRACE_CAP` was set but unparsable and the ring
+    /// silently-no-more fell back to [`DEFAULT_TRACE_CAP`].
+    pub fn cap_override_invalid(&self) -> bool {
+        self.inner.as_ref().map(|i| i.cap_override_invalid).unwrap_or(false)
     }
 
     /// Records evicted from the ring since recording began.

@@ -1,0 +1,42 @@
+//! `AURORA_TRACE_CAP` environment-override behavior. One test function
+//! (this binary is its own process) so the env mutations never race
+//! another test thread.
+
+use aurora_trace::{Trace, DEFAULT_TRACE_CAP, TRACE_CAP_ENV};
+
+#[test]
+fn cap_env_override_valid_invalid_and_unset() {
+    // Valid override: the ring takes the requested capacity quietly.
+    std::env::set_var(TRACE_CAP_ENV, "128");
+    let t = Trace::recording(|| 0);
+    assert_eq!(t.capacity(), 128);
+    assert!(!t.cap_override_invalid());
+    assert_eq!(t.event_count(), 0, "no warning event on a valid override");
+
+    // Unparsable override: fall back to the default, but loudly — the
+    // handle records a trace.cap_invalid warning carrying the effective
+    // capacity and reports the condition for the gauge layer.
+    std::env::set_var(TRACE_CAP_ENV, "a-lot");
+    let t = Trace::recording(|| 0);
+    assert_eq!(t.capacity(), DEFAULT_TRACE_CAP);
+    assert!(t.cap_override_invalid());
+    let evs = t.events();
+    assert_eq!(evs.len(), 1);
+    assert_eq!(evs[0].name.as_ref(), "trace.cap_invalid");
+    assert_eq!(evs[0].cat, "trace");
+    assert_eq!(evs[0].args, vec![("effective_cap", DEFAULT_TRACE_CAP as u64)]);
+
+    // Unset: default capacity, no warning, flag clear.
+    std::env::remove_var(TRACE_CAP_ENV);
+    let t = Trace::recording(|| 0);
+    assert_eq!(t.capacity(), DEFAULT_TRACE_CAP);
+    assert!(!t.cap_override_invalid());
+    assert_eq!(t.event_count(), 0);
+
+    // Explicit-capacity construction never consults the environment.
+    std::env::set_var(TRACE_CAP_ENV, "nonsense");
+    let t = Trace::recording_with_cap(|| 0, 9);
+    assert_eq!(t.capacity(), 9);
+    assert!(!t.cap_override_invalid());
+    std::env::remove_var(TRACE_CAP_ENV);
+}
